@@ -1,0 +1,168 @@
+// Command benchviz regenerates every table and figure of the paper's
+// evaluation by standing up the emulated two-node testbed (object store
+// on a storage node, shaped 1 GbE link, NDP pre-filter service) and
+// sweeping the experiments. Results print as aligned text tables; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+//
+// Examples:
+//
+//	benchviz                      # full sweep at the default scale
+//	benchviz -exp fig13,tab2      # only the named experiments
+//	benchviz -n 64 -steps 5 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"vizndp/internal/compress"
+	"vizndp/internal/harness"
+	"vizndp/internal/netsim"
+	"vizndp/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchviz: ")
+
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiments: fig1,fig5,fig6,fig13,tab2,fig14,ablations,e2e,lossy,slice or all")
+		n       = flag.Int("n", 0, "asteroid/nyx grid edge length (0 = config default)")
+		steps   = flag.Int("steps", 0, "asteroid timesteps (0 = config default)")
+		gbps    = flag.Float64("gbps", 0, "inter-node link capacity in Gb/s (0 = config default)")
+		repeats = flag.Int("repeats", 0, "measurement repetitions (0 = config default)")
+		quick   = flag.Bool("quick", false, "use the small quick configuration")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		dataDir = flag.String("data", "", "scratch directory for the object store (temp dir if empty)")
+	)
+	flag.Parse()
+
+	dir := *dataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "benchviz-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	cfg := harness.DefaultConfig(dir)
+	if *quick {
+		cfg = harness.QuickConfig(dir)
+	}
+	if *n > 0 {
+		cfg.AsteroidN = *n
+		cfg.NyxN = *n
+	}
+	if *steps > 0 {
+		cfg.NumTimesteps = *steps
+	}
+	if *gbps > 0 {
+		cfg.LinkBits = *gbps * netsim.Gbps
+	}
+	if *repeats > 0 {
+		cfg.Repeats = *repeats
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	fmt.Printf("building testbed: %d^3 grids, %d timesteps, %g Gb/s link, %d repeats\n",
+		cfg.AsteroidN, cfg.NumTimesteps, cfg.LinkBits/netsim.Gbps, cfg.Repeats)
+	start := time.Now()
+	env, err := harness.NewEnv(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+	fmt.Printf("testbed ready in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	show := func(t *stats.Table, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			return
+		}
+		fmt.Println(t.String())
+	}
+
+	if all || want["fig1"] {
+		show(env.Fig1())
+	}
+	if all || want["fig5"] {
+		show(env.Fig5("v02"))
+		show(env.Fig5("v03"))
+	}
+	if all || want["fig6"] {
+		show(env.Fig6("v02"))
+		show(env.Fig6("v03"))
+	}
+	if all || want["fig13"] {
+		for _, array := range []string{"v02", "v03"} {
+			for _, codec := range harness.Codecs {
+				show(env.Fig13(array, codec))
+			}
+		}
+	}
+	if all || want["tab2"] {
+		show(env.Table2())
+	}
+	if all || want["fig14"] {
+		show(env.Fig14())
+	}
+	if all || want["ablations"] {
+		show(env.AblationLinkSpeed("v02", 0.1, []float64{
+			0.1 * netsim.Gbps, 0.5 * netsim.Gbps, 1 * netsim.Gbps,
+			2 * netsim.Gbps, 10 * netsim.Gbps,
+		}))
+		show(env.AblationEncoding("v02"))
+		show(env.AblationMultiIso("v03"))
+	}
+	if all || want["e2e"] {
+		show(env.EndToEnd("v02", 0.1))
+	}
+	if all || want["slice"] {
+		show(env.ExtensionSlice("v02"))
+	}
+	if all || want["lossy"] {
+		show(env.AblationLossy([]float64{1.0, 0.1, 0.01}))
+	}
+
+	// A final sanity line mirroring the headline claim.
+	if all || want["tab2"] {
+		summarize(env)
+	}
+}
+
+// summarize prints the headline speedups like the paper's abstract: NDP
+// alone and NDP combined with compression, on the last contour value.
+func summarize(env *harness.Env) {
+	step := env.Steps()[len(env.Steps())-1]
+	iso := env.Cfg.ContourValues[len(env.Cfg.ContourValues)-1]
+	base, err := env.BaselineLoad("asteroid", compress.None, step, "v03")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ndp, err := env.NDPLoad("asteroid", compress.None, step, "v03", []float64{iso})
+	if err != nil {
+		log.Fatal(err)
+	}
+	combo, err := env.NDPLoad("asteroid", compress.LZ4, step, "v03", []float64{iso})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("headline (v03, iso %.1f, step %d): NDP alone %.2fx, LZ4+NDP %.2fx\n",
+		iso, step,
+		stats.Speedup(base.LoadTime, ndp.LoadTime),
+		stats.Speedup(base.LoadTime, combo.LoadTime))
+}

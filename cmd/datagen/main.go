@@ -1,0 +1,110 @@
+// Command datagen generates the synthetic datasets (the xRage deep-water
+// asteroid impact run and the Nyx cosmology snapshot) and writes them as
+// dataset files, either to a local directory or into a running object
+// store, in any of the three storage codecs.
+//
+// Examples:
+//
+//	datagen -dataset asteroid -n 96 -steps 9 -codec all -out ./data
+//	datagen -dataset nyx -n 96 -codec lz4 -store 127.0.0.1:9000 -bucket sim
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"vizndp/internal/compress"
+	"vizndp/internal/grid"
+	"vizndp/internal/objstore"
+	"vizndp/internal/sim"
+	"vizndp/internal/vtkio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+
+	var (
+		dataset = flag.String("dataset", "asteroid", "dataset to generate: asteroid or nyx")
+		n       = flag.Int("n", 96, "grid edge length (points per axis)")
+		steps   = flag.Int("steps", 9, "number of asteroid timesteps (ignored for nyx)")
+		codec   = flag.String("codec", "all", "storage codec: raw, gzip, lz4, or all")
+		seed    = flag.Uint("seed", 7, "generator seed")
+		out     = flag.String("out", "", "output directory (local files)")
+		store   = flag.String("store", "", "object store address (host:port) instead of -out")
+		bucket  = flag.String("bucket", "sim", "object store bucket")
+	)
+	flag.Parse()
+
+	codecs, err := parseCodecs(*codec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if (*out == "") == (*store == "") {
+		log.Fatal("specify exactly one of -out or -store")
+	}
+
+	write := func(key string, ds *grid.Dataset, kind compress.Kind) error {
+		if *store != "" {
+			var buf bytes.Buffer
+			if err := vtkio.Write(&buf, ds, vtkio.WriteOptions{Codec: kind}); err != nil {
+				return err
+			}
+			client := objstore.NewClient(*store, nil)
+			return client.Put(*bucket, key, buf.Bytes())
+		}
+		path := filepath.Join(*out, filepath.FromSlash(key))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		return vtkio.WriteFile(path, ds, vtkio.WriteOptions{Codec: kind})
+	}
+
+	switch *dataset {
+	case "asteroid":
+		cfg := sim.AsteroidConfig{N: *n, Seed: uint32(*seed)}
+		for _, step := range cfg.Timesteps(*steps) {
+			ds, err := cfg.Generate(step)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, kind := range codecs {
+				key := fmt.Sprintf("asteroid/%s/ts%05d.vnd", kind, step)
+				if err := write(key, ds, kind); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println("wrote", key)
+			}
+		}
+	case "nyx":
+		cfg := sim.NyxConfig{N: *n, Seed: uint32(*seed)}
+		ds, err := cfg.Generate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, kind := range codecs {
+			key := fmt.Sprintf("nyx/%s/ts00000.vnd", kind)
+			if err := write(key, ds, kind); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("wrote", key)
+		}
+	default:
+		log.Fatalf("unknown dataset %q (want asteroid or nyx)", *dataset)
+	}
+}
+
+func parseCodecs(s string) ([]compress.Kind, error) {
+	if s == "all" {
+		return []compress.Kind{compress.None, compress.Gzip, compress.LZ4}, nil
+	}
+	k, err := compress.ParseKind(s)
+	if err != nil {
+		return nil, err
+	}
+	return []compress.Kind{k}, nil
+}

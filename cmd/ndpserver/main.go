@@ -1,0 +1,79 @@
+// Command ndpserver runs the storage-side half of the split pipeline:
+// an RPC service that reads dataset files (from a local directory or
+// through an s3fs mount of an object store on the same node), runs the
+// contour pre-filter near the data, and ships only the selected mesh
+// points to clients.
+//
+// Examples:
+//
+//	ndpserver -addr 127.0.0.1:9100 -dir ./data
+//	ndpserver -addr 127.0.0.1:9100 -store 127.0.0.1:9000 -bucket sim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"vizndp/internal/core"
+	"vizndp/internal/netsim"
+	"vizndp/internal/objstore"
+	"vizndp/internal/s3fs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ndpserver: ")
+
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9100", "listen address")
+		dir     = flag.String("dir", "", "serve dataset files from this directory")
+		store   = flag.String("store", "", "object store address to mount instead of -dir")
+		bucket  = flag.String("bucket", "sim", "object store bucket")
+		gbps    = flag.Float64("gbps", 0, "shape client traffic to this many Gb/s (0 = unshaped)")
+		latency = flag.Duration("latency", 0, "one-way link latency to charge")
+	)
+	flag.Parse()
+
+	if (*dir == "") == (*store == "") {
+		log.Fatal("specify exactly one of -dir or -store")
+	}
+	var fsys fs.FS
+	if *dir != "" {
+		fsys = os.DirFS(*dir)
+	} else {
+		// Node-local mount: the object store runs on this same storage
+		// node, so this client is unshaped.
+		fsys = s3fs.New(objstore.NewClient(*store, nil), *bucket)
+	}
+
+	srv := core.NewServer(fsys)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *gbps > 0 || *latency > 0 {
+		link := netsim.NewLink(*gbps*netsim.Gbps, *latency)
+		ln = link.Listener(ln)
+	}
+	fmt.Printf("NDP pre-filter service on %s", bound)
+	if *gbps > 0 {
+		fmt.Printf(" (shaped to %g Gb/s)", *gbps)
+	}
+	fmt.Println()
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}

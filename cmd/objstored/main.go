@@ -1,0 +1,60 @@
+// Command objstored runs the S3-style object store (the MinIO stand-in)
+// over a local directory. An optional bandwidth/latency shape emulates
+// serving clients across a slow link, as in the paper's testbed.
+//
+// Example:
+//
+//	objstored -root ./data -addr 127.0.0.1:9000 -gbps 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"vizndp/internal/netsim"
+	"vizndp/internal/objstore"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("objstored: ")
+
+	var (
+		root    = flag.String("root", "./objstore-data", "backing directory")
+		addr    = flag.String("addr", "127.0.0.1:9000", "listen address")
+		gbps    = flag.Float64("gbps", 0, "shape served traffic to this many Gb/s (0 = unshaped)")
+		latency = flag.Duration("latency", 0, "one-way link latency to charge")
+	)
+	flag.Parse()
+
+	srv, err := objstore.NewServer(*root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wrap func(net.Listener) net.Listener
+	if *gbps > 0 || *latency > 0 {
+		link := netsim.NewLink(*gbps*netsim.Gbps, *latency)
+		wrap = link.Listener
+	}
+	bound, shutdown, err := srv.ListenAndServe(*addr, wrap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %s on %s", *root, bound)
+	if *gbps > 0 {
+		fmt.Printf(" (shaped to %g Gb/s)", *gbps)
+	}
+	fmt.Println()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+	shutdown()
+	time.Sleep(50 * time.Millisecond)
+}

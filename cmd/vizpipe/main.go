@@ -1,0 +1,280 @@
+// Command vizpipe runs a client-side visualization pipeline against
+// stored datasets, in either of the paper's two configurations:
+//
+//   - baseline: read the full selected arrays from an object store
+//     (through the s3fs layer) or a local directory, then contour;
+//   - ndp: ask a remote ndpserver to pre-filter near the data, then
+//     complete the contour locally from the sparse payload.
+//
+// It prints the measured data load time (the paper's metric), the bytes
+// each array needed, and optionally renders the contours to a PNG.
+//
+// Examples:
+//
+//	vizpipe -mode baseline -store 127.0.0.1:9000 -bucket sim \
+//	    -path asteroid/lz4/ts24006.vnd -arrays v02,v03 -iso 0.1 -render out.png
+//	vizpipe -mode ndp -ndp 127.0.0.1:9100 \
+//	    -path asteroid/lz4/ts24006.vnd -arrays v02,v03 -iso 0.1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"image/color"
+	"io/fs"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"vizndp/internal/contour"
+	"vizndp/internal/core"
+	"vizndp/internal/objstore"
+	"vizndp/internal/pipeline"
+	"vizndp/internal/render"
+	"vizndp/internal/s3fs"
+	"vizndp/internal/stats"
+)
+
+// layerColors cycles through display colors for multi-array renders
+// (cyan water, yellow asteroid, as in the paper's Fig. 4).
+var layerColors = []color.RGBA{
+	{R: 40, G: 210, B: 210, A: 255},
+	{R: 235, G: 210, B: 40, A: 255},
+	{R: 220, G: 90, B: 90, A: 255},
+	{R: 120, G: 220, B: 90, A: 255},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vizpipe: ")
+
+	var (
+		mode      = flag.String("mode", "baseline", "pipeline mode: baseline or ndp")
+		dir       = flag.String("dir", "", "baseline: read files from this directory")
+		store     = flag.String("store", "", "baseline: object store address")
+		bucket    = flag.String("bucket", "sim", "object store bucket")
+		ndpAddr   = flag.String("ndp", "", "ndp: address of the ndpserver")
+		path      = flag.String("path", "", "dataset file path/key")
+		arraysCSV = flag.String("arrays", "v02", "comma-separated data arrays to contour")
+		isoCSV    = flag.String("iso", "0.1", "comma-separated contour values")
+		filter    = flag.String("filter", "contour", "filter type: contour or threshold")
+		loFlag    = flag.Float64("lo", 0, "threshold: lower bound")
+		hiFlag    = flag.Float64("hi", 1, "threshold: upper bound")
+		encName   = flag.String("encoding", "auto", "ndp payload encoding: auto, indexvalue, blockbitmap")
+		renderOut = flag.String("render", "", "render the contours to this PNG file")
+		objOut    = flag.String("obj", "", "export the first contour mesh to this OBJ file")
+		repeats   = flag.Int("repeats", 1, "measurement repetitions")
+	)
+	flag.Parse()
+
+	if *path == "" {
+		log.Fatal("-path is required")
+	}
+	arrays := strings.Split(*arraysCSV, ",")
+	isovalues, err := parseFloats(*isoCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, err := core.ParseEncoding(*encName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *filter == "threshold" {
+		if err := runThreshold(*mode, *dir, *store, *bucket, *ndpAddr, *path,
+			arrays, *loFlag, *hiFlag, enc, *repeats); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *filter != "contour" {
+		log.Fatalf("unknown filter %q (want contour or threshold)", *filter)
+	}
+
+	var source pipeline.Stage
+	var ndpSrc *core.NDPSource
+	switch *mode {
+	case "baseline":
+		var fsys fs.FS
+		switch {
+		case *dir != "":
+			fsys = os.DirFS(*dir)
+		case *store != "":
+			fsys = s3fs.New(objstore.NewClient(*store, nil), *bucket)
+		default:
+			log.Fatal("baseline mode needs -dir or -store")
+		}
+		source = &pipeline.FileSource{FS: fsys, Path: *path, Arrays: arrays}
+	case "ndp":
+		if *ndpAddr == "" {
+			log.Fatal("ndp mode needs -ndp address")
+		}
+		client, err := core.Dial(*ndpAddr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		ndpSrc = &core.NDPSource{
+			Client:    client,
+			Path:      *path,
+			Arrays:    arrays,
+			Isovalues: isovalues,
+			Encoding:  enc,
+		}
+		source = ndpSrc
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	filters := make([]*pipeline.ContourFilter, len(arrays))
+	for i, a := range arrays {
+		filters[i] = &pipeline.ContourFilter{Array: a, Isovalues: isovalues}
+	}
+	p := pipeline.New(source, &pipeline.MultiContour{Filters: filters})
+
+	var out any
+	for r := 0; r < *repeats; r++ {
+		out, err = p.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run %d: data load time %s (total %s)\n",
+			r+1,
+			stats.FormatDuration(p.StageTime(pipeline.SourceStageName)),
+			stats.FormatDuration(p.Total()))
+	}
+
+	results := out.(map[string]any)
+	var layers []render.Layer
+	for i, a := range arrays {
+		switch m := results[a].(type) {
+		case *contour.Mesh:
+			fmt.Printf("array %s: %d triangles, %d vertices\n",
+				a, m.NumTriangles(), m.NumVertices())
+			layers = append(layers, render.Layer{
+				Mesh:  m,
+				Color: layerColors[i%len(layerColors)],
+			})
+		case *contour.LineSet:
+			fmt.Printf("array %s: %d segments\n", a, m.NumSegments())
+		}
+		if ndpSrc != nil && ndpSrc.Stats[a] != nil {
+			st := ndpSrc.Stats[a]
+			fmt.Printf("array %s: transferred %s of %s (%d points selected)\n",
+				a, stats.FormatBytes(st.PayloadBytes), stats.FormatBytes(st.RawBytes),
+				st.SelectedPoints)
+		}
+	}
+
+	if *objOut != "" && len(layers) > 0 {
+		f, err := os.Create(*objOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mesh := layers[0].Mesh
+		mesh.ComputeNormals()
+		if err := mesh.WriteOBJ(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("exported", *objOut)
+	}
+
+	if *renderOut != "" && len(layers) > 0 {
+		img, err := render.Meshes(layers, render.Options{
+			Width: 800, Height: 800, AzimuthDeg: 35, ElevationDeg: 25,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := render.SavePNG(img, *renderOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("rendered", *renderOut)
+	}
+}
+
+// runThreshold drives the split threshold filter in either mode.
+func runThreshold(mode, dir, store, bucket, ndpAddr, path string,
+	arrays []string, lo, hi float64, enc core.Encoding, repeats int) error {
+
+	switch mode {
+	case "baseline":
+		var fsys fs.FS
+		switch {
+		case dir != "":
+			fsys = os.DirFS(dir)
+		case store != "":
+			fsys = s3fs.New(objstore.NewClient(store, nil), bucket)
+		default:
+			return fmt.Errorf("baseline mode needs -dir or -store")
+		}
+		for _, array := range arrays {
+			p := pipeline.New(
+				&pipeline.FileSource{FS: fsys, Path: path, Arrays: []string{array}},
+				&pipeline.ThresholdFilter{Array: array, Lo: lo, Hi: hi},
+			)
+			for r := 0; r < repeats; r++ {
+				out, err := p.Run(context.Background())
+				if err != nil {
+					return err
+				}
+				cs := out.(*contour.CellSet)
+				fmt.Printf("array %s run %d: %d cells in [%g, %g], load %s\n",
+					array, r+1, cs.Count(), lo, hi,
+					stats.FormatDuration(p.StageTime(pipeline.SourceStageName)))
+			}
+		}
+		return nil
+	case "ndp":
+		if ndpAddr == "" {
+			return fmt.Errorf("ndp mode needs -ndp address")
+		}
+		client, err := core.Dial(ndpAddr, nil)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		desc, err := client.Describe(path)
+		if err != nil {
+			return err
+		}
+		for _, array := range arrays {
+			for r := 0; r < repeats; r++ {
+				payload, st, err := client.FetchRange(path, array, lo, hi, enc)
+				if err != nil {
+					return err
+				}
+				cs, err := core.ThresholdFromPayload(desc.Grid, payload, lo, hi)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("array %s run %d: %d cells in [%g, %g], load %s, moved %s of %s\n",
+					array, r+1, cs.Count(), lo, hi,
+					stats.FormatDuration(st.TotalTime),
+					stats.FormatBytes(st.PayloadBytes), stats.FormatBytes(st.RawBytes))
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad isovalue %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+// Asteroid: the paper's primary experiment as a runnable scenario.
+//
+// Emulates the two-node testbed in one process — an object store on the
+// storage node, a 1 GbE link to the client, and an NDP pre-filter
+// service — then runs the deep-water asteroid impact workload both ways:
+//
+//   - baseline: the client reads entire v02/v03 arrays over the link
+//     (through the s3fs layer) and contours them locally;
+//   - NDP: the storage node pre-filters near the data and ships only the
+//     mesh points the contour needs.
+//
+// Prints per-timestep data load times and speedups, and renders a
+// Fig. 4-style frame (cyan water + yellow asteroid) per timestep.
+//
+//	go run ./examples/asteroid [-n 64] [-steps 5] [-gbps 1] [-outdir frames]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"image/color"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vizndp"
+	"vizndp/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		n      = flag.Int("n", 96, "grid edge length")
+		steps  = flag.Int("steps", 5, "number of timesteps")
+		gbps   = flag.Float64("gbps", 1, "inter-node link capacity in Gb/s")
+		outdir = flag.String("outdir", "frames", "directory for rendered frames")
+	)
+	flag.Parse()
+
+	if err := run(*n, *steps, *gbps, *outdir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(n, steps int, gbps float64, outdir string) error {
+	// ---- storage node ----
+	dataDir, err := os.MkdirTemp("", "asteroid-example-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
+	store, err := vizndp.NewObjectStore(dataDir)
+	if err != nil {
+		return err
+	}
+	link := vizndp.NewLink(gbps*1e9, 100*time.Microsecond)
+	storeAddr, stopStore, err := store.ListenAndServe("127.0.0.1:0", link.Listener)
+	if err != nil {
+		return err
+	}
+	defer stopStore()
+	// Node-local listener for the NDP server's own mount.
+	localAddr, stopLocal, err := store.ListenAndServe("127.0.0.1:0", nil)
+	if err != nil {
+		return err
+	}
+	defer stopLocal()
+
+	// Populate: raw timesteps uploaded through the local path (the paper's
+	// headline comparison; use compressed codecs via cmd/vizpipe).
+	localClient := vizndp.NewObjectClient(localAddr, nil)
+	cfg := vizndp.AsteroidConfig{N: n, Seed: 7}
+	var stepIDs []int
+	for i := 0; i < steps; i++ {
+		stepIDs = append(stepIDs, i*vizndp.AsteroidMaxStep/max(1, steps-1))
+	}
+	fmt.Printf("generating %d timesteps at %d^3...\n", steps, n)
+	for _, step := range stepIDs {
+		ds, err := vizndp.GenerateAsteroid(cfg, step)
+		if err != nil {
+			return err
+		}
+		blob, err := vizndp.EncodeDataset(ds, vizndp.WriteOptions{Codec: vizndp.Raw})
+		if err != nil {
+			return err
+		}
+		if err := localClient.Put("sim", key(step), blob); err != nil {
+			return err
+		}
+	}
+
+	// NDP pre-filter service, mounted on the node-local store.
+	ndpSrv := vizndp.NewNDPServer(vizndp.NewBucketFS(localClient, "sim"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go ndpSrv.Serve(link.Listener(ln))
+	defer ndpSrv.Close()
+
+	// ---- client node ----
+	remoteFS := vizndp.NewBucketFS(vizndp.NewObjectClient(storeAddr, link.Dial), "sim")
+	ndpClient, err := vizndp.DialNDP(ln.Addr().String(), link.Dial)
+	if err != nil {
+		return err
+	}
+	defer ndpClient.Close()
+
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+
+	isos := []float64{0.1}
+	arrays := []string{"v02", "v03"}
+	fmt.Printf("\n%-8s  %-12s  %-12s  %s\n", "step", "baseline", "ndp", "speedup")
+	for _, step := range stepIDs {
+		// Baseline pipeline: full arrays over the link.
+		base := vizndp.NewPipeline(
+			&vizndp.FileSource{FS: remoteFS, Path: key(step), Arrays: arrays},
+			&vizndp.MultiContour{Filters: []*vizndp.ContourFilter{
+				{Array: "v02", Isovalues: isos},
+				{Array: "v03", Isovalues: isos},
+			}},
+		)
+		baseOut, err := base.Run(context.Background())
+		if err != nil {
+			return err
+		}
+		baseLoad := base.StageTime(vizndp.SourceStageName)
+
+		// NDP pipeline: pre-filtered payloads over the link.
+		src := &vizndp.NDPSource{
+			Client:    ndpClient,
+			Path:      key(step),
+			Arrays:    arrays,
+			Isovalues: isos,
+		}
+		ndp := vizndp.NewPipeline(src,
+			&vizndp.MultiContour{Filters: []*vizndp.ContourFilter{
+				{Array: "v02", Isovalues: isos},
+				{Array: "v03", Isovalues: isos},
+			}},
+		)
+		ndpOut, err := ndp.Run(context.Background())
+		if err != nil {
+			return err
+		}
+		ndpLoad := ndp.StageTime(vizndp.SourceStageName)
+
+		// Same contours either way.
+		bm := baseOut.(map[string]any)
+		nm := ndpOut.(map[string]any)
+		for _, a := range arrays {
+			if !bm[a].(*vizndp.Mesh).Equal(nm[a].(*vizndp.Mesh)) {
+				return fmt.Errorf("step %d: NDP contour of %s differs from baseline", step, a)
+			}
+		}
+
+		fmt.Printf("%-8d  %-12s  %-12s  %.2fx\n", step,
+			stats.FormatDuration(baseLoad), stats.FormatDuration(ndpLoad),
+			stats.Speedup(baseLoad, ndpLoad))
+
+		// Fig. 4-style frame: water in cyan, asteroid in yellow.
+		img, err := vizndp.RenderMeshes([]vizndp.RenderLayer{
+			{Mesh: nm["v02"].(*vizndp.Mesh), Color: color.RGBA{R: 40, G: 210, B: 210, A: 255}},
+			{Mesh: nm["v03"].(*vizndp.Mesh), Color: color.RGBA{R: 235, G: 210, B: 40, A: 255}},
+		}, vizndp.RenderOptions{Width: 640, Height: 640, AzimuthDeg: 35, ElevationDeg: 25})
+		if err != nil {
+			return err
+		}
+		frame := filepath.Join(outdir, fmt.Sprintf("impact-%05d.png", step))
+		if err := vizndp.SavePNG(img, frame); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nframes written to %s/\n", outdir)
+	return nil
+}
+
+func key(step int) string { return fmt.Sprintf("asteroid/raw/ts%05d.vnd", step) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

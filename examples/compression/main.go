@@ -1,0 +1,87 @@
+// Compression: the paper's Sec. IV study, standalone.
+//
+// Generates asteroid timesteps and reports, per timestep: the stored
+// sizes of v02/v03 under GZip and LZ4, the resulting compression ratios,
+// and local load (decompression) times — showing GZip's better ratio but
+// slower decode, and the ratio decay as simulation entropy grows.
+//
+//	go run ./examples/compression [-n 64] [-steps 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vizndp"
+	"vizndp/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		n     = flag.Int("n", 64, "grid edge length")
+		steps = flag.Int("steps", 5, "number of timesteps")
+	)
+	flag.Parse()
+	if err := run(*n, *steps); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(n, steps int) error {
+	dir, err := os.MkdirTemp("", "compression-example-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := vizndp.AsteroidConfig{N: n, Seed: 7}
+	codecs := []vizndp.CompressionKind{vizndp.Raw, vizndp.Gzip, vizndp.LZ4}
+
+	fmt.Printf("%-8s  %-5s  %-10s  %-10s  %-8s  %-10s\n",
+		"step", "array", "codec", "size", "ratio", "local load")
+	for i := 0; i < steps; i++ {
+		step := i * vizndp.AsteroidMaxStep / maxInt(1, steps-1)
+		ds, err := vizndp.GenerateAsteroid(cfg, step)
+		if err != nil {
+			return err
+		}
+		for _, codec := range codecs {
+			path := filepath.Join(dir, fmt.Sprintf("ts%05d-%s.vnd", step, codec))
+			if err := vizndp.WriteDatasetFile(path, ds, vizndp.WriteOptions{Codec: codec}); err != nil {
+				return err
+			}
+			r, closeFn, err := vizndp.OpenDatasetFile(path)
+			if err != nil {
+				return err
+			}
+			for _, array := range []string{"v02", "v03"} {
+				info := r.Header().Array(array)
+				start := time.Now()
+				if _, err := r.ReadArray(array); err != nil {
+					closeFn()
+					return err
+				}
+				load := time.Since(start)
+				fmt.Printf("%-8d  %-5s  %-10s  %-10s  %-8.1f  %-10s\n",
+					step, array, codec.String(),
+					stats.FormatBytes(info.CompressedSize()),
+					float64(info.RawSize())/float64(info.CompressedSize()),
+					stats.FormatDuration(load))
+			}
+			closeFn()
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

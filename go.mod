@@ -1,0 +1,3 @@
+module vizndp
+
+go 1.22

@@ -1,0 +1,194 @@
+package vizndp
+
+// Integration test of the command-line deployment: the object store,
+// NDP server, data generator, and client pipeline running as separate
+// processes, exactly as README's "distributed setup" section describes.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the binaries once into a temp dir.
+func buildTools(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	tools := map[string]string{}
+	for _, name := range []string{"objstored", "ndpserver", "datagen", "vizpipe"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = "."
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		tools[name] = out
+	}
+	return tools
+}
+
+// freePort reserves a TCP port and releases it for the child process.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitTCP waits for something to accept connections at addr.
+func waitTCP(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("nothing listening at %s", addr)
+}
+
+func startDaemon(t *testing.T, bin string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		if t.Failed() {
+			t.Logf("%s output:\n%s", bin, out.String())
+		}
+	})
+}
+
+func TestCommandLineDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process integration test in -short mode")
+	}
+	dir := t.TempDir()
+	tools := buildTools(t, dir)
+
+	// Storage node: object store.
+	storeAddr := freePort(t)
+	storeDir := filepath.Join(dir, "store")
+	startDaemon(t, tools["objstored"], "-root", storeDir, "-addr", storeAddr)
+	waitTCP(t, storeAddr)
+
+	// Populate one small timestep in raw and lz4.
+	for _, codec := range []string{"raw", "lz4"} {
+		cmd := exec.Command(tools["datagen"],
+			"-dataset", "asteroid", "-n", "32", "-steps", "2",
+			"-codec", codec, "-store", storeAddr, "-bucket", "sim", "-seed", "7")
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("datagen %s: %v\n%s", codec, err, msg)
+		}
+	}
+
+	// Storage node: NDP pre-filter service mounting the store.
+	ndpAddr := freePort(t)
+	startDaemon(t, tools["ndpserver"],
+		"-addr", ndpAddr, "-store", storeAddr, "-bucket", "sim")
+	waitTCP(t, ndpAddr)
+
+	key := "asteroid/lz4/ts00000.vnd"
+	renderPath := filepath.Join(dir, "out.png")
+	objPath := filepath.Join(dir, "out.obj")
+
+	// Client: baseline pipeline.
+	baseline := exec.Command(tools["vizpipe"],
+		"-mode", "baseline", "-store", storeAddr, "-bucket", "sim",
+		"-path", key, "-arrays", "v02,v03", "-iso", "0.1")
+	baseOut, err := baseline.CombinedOutput()
+	if err != nil {
+		t.Fatalf("baseline vizpipe: %v\n%s", err, baseOut)
+	}
+	if !strings.Contains(string(baseOut), "triangles") {
+		t.Fatalf("baseline output missing triangles:\n%s", baseOut)
+	}
+
+	// Client: NDP pipeline with render + OBJ export.
+	ndp := exec.Command(tools["vizpipe"],
+		"-mode", "ndp", "-ndp", ndpAddr,
+		"-path", key, "-arrays", "v02,v03", "-iso", "0.1",
+		"-render", renderPath, "-obj", objPath)
+	ndpOut, err := ndp.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ndp vizpipe: %v\n%s", err, ndpOut)
+	}
+	sOut := string(ndpOut)
+	if !strings.Contains(sOut, "transferred") {
+		t.Fatalf("ndp output missing transfer stats:\n%s", sOut)
+	}
+
+	// Same triangle counts through both paths.
+	for _, array := range []string{"v02", "v03"} {
+		bLine := triangleLine(t, string(baseOut), array)
+		nLine := triangleLine(t, sOut, array)
+		if bLine != nLine {
+			t.Errorf("array %s: baseline %q != ndp %q", array, bLine, nLine)
+		}
+	}
+
+	for _, p := range []string{renderPath, objPath} {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("output %s missing: %v", p, err)
+		}
+	}
+
+	// Local-directory flow: datagen -out plus vizpipe -dir, no servers.
+	localDir := filepath.Join(dir, "local")
+	gen := exec.Command(tools["datagen"],
+		"-dataset", "nyx", "-n", "24", "-codec", "gzip", "-out", localDir)
+	if msg, err := gen.CombinedOutput(); err != nil {
+		t.Fatalf("datagen -out: %v\n%s", err, msg)
+	}
+	local := exec.Command(tools["vizpipe"],
+		"-mode", "baseline", "-dir", localDir,
+		"-path", "nyx/gzip/ts00000.vnd", "-arrays", "baryon_density", "-iso", "81.66")
+	if msg, err := local.CombinedOutput(); err != nil {
+		t.Fatalf("local vizpipe: %v\n%s", err, msg)
+	} else if !strings.Contains(string(msg), "triangles") {
+		t.Fatalf("local vizpipe output:\n%s", msg)
+	}
+
+	// Client: split threshold filter over NDP.
+	th := exec.Command(tools["vizpipe"],
+		"-mode", "ndp", "-ndp", ndpAddr, "-filter", "threshold",
+		"-path", key, "-arrays", "v02", "-lo", "0.2", "-hi", "0.8")
+	thOut, err := th.CombinedOutput()
+	if err != nil {
+		t.Fatalf("threshold vizpipe: %v\n%s", err, thOut)
+	}
+	if !strings.Contains(string(thOut), "cells in [0.2, 0.8]") {
+		t.Fatalf("threshold output unexpected:\n%s", thOut)
+	}
+}
+
+// triangleLine extracts the "array X: N triangles..." line for an array.
+func triangleLine(t *testing.T, out, array string) string {
+	t.Helper()
+	prefix := fmt.Sprintf("array %s: ", array)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, prefix) && strings.Contains(line, "triangles") {
+			return line
+		}
+	}
+	t.Fatalf("no triangle line for %s in:\n%s", array, out)
+	return ""
+}

@@ -1,0 +1,160 @@
+// Package compress provides the data-compression codecs the paper
+// evaluates — GZip and LZ4 — behind a single Codec interface, plus the
+// identity codec for RAW runs. VTK supports exactly these two lossless
+// codecs natively, which is why the paper restricts itself to them.
+package compress
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"vizndp/internal/lz4"
+)
+
+// Kind identifies a codec on the wire and in file headers.
+type Kind uint8
+
+// Codec kinds. The zero value is None so uninitialized headers read as RAW.
+const (
+	None Kind = iota
+	Gzip
+	LZ4
+)
+
+// String returns the name used in CLI flags, file headers, and reports.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "raw"
+	case Gzip:
+		return "gzip"
+	case LZ4:
+		return "lz4"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a codec name to its Kind. Recognized names are "raw"
+// (also "none"), "gzip", and "lz4".
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "raw", "none", "":
+		return None, nil
+	case "gzip":
+		return Gzip, nil
+	case "lz4":
+		return LZ4, nil
+	default:
+		return None, fmt.Errorf("compress: unknown codec %q", s)
+	}
+}
+
+// Codec compresses and decompresses byte blocks. Implementations are
+// stateless and safe for concurrent use.
+type Codec interface {
+	Kind() Kind
+	// Compress returns the encoded form of src.
+	Compress(src []byte) ([]byte, error)
+	// Decompress decodes src, which must expand to exactly originalSize
+	// bytes.
+	Decompress(src []byte, originalSize int) ([]byte, error)
+}
+
+// ByKind returns the codec for k.
+func ByKind(k Kind) (Codec, error) {
+	switch k {
+	case None:
+		return noneCodec{}, nil
+	case Gzip:
+		return gzipCodec{}, nil
+	case LZ4:
+		return lz4Codec{}, nil
+	default:
+		return nil, fmt.Errorf("compress: unknown codec kind %d", k)
+	}
+}
+
+// MustByKind is ByKind for statically known kinds.
+func MustByKind(k Kind) Codec {
+	c, err := ByKind(k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// All returns the three codecs in the order the paper reports them:
+// RAW, GZip, LZ4.
+func All() []Codec {
+	return []Codec{noneCodec{}, gzipCodec{}, lz4Codec{}}
+}
+
+type noneCodec struct{}
+
+func (noneCodec) Kind() Kind { return None }
+
+func (noneCodec) Compress(src []byte) ([]byte, error) {
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+func (noneCodec) Decompress(src []byte, originalSize int) ([]byte, error) {
+	if len(src) != originalSize {
+		return nil, fmt.Errorf("compress: raw block is %d bytes, want %d",
+			len(src), originalSize)
+	}
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+type gzipCodec struct{}
+
+func (gzipCodec) Kind() Kind { return Gzip }
+
+func (gzipCodec) Compress(src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w := gzip.NewWriter(&buf)
+	if _, err := w.Write(src); err != nil {
+		return nil, fmt.Errorf("compress: gzip write: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("compress: gzip close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (gzipCodec) Decompress(src []byte, originalSize int) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(src))
+	if err != nil {
+		return nil, fmt.Errorf("compress: gzip open: %w", err)
+	}
+	defer r.Close()
+	out := make([]byte, originalSize)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, fmt.Errorf("compress: gzip read: %w", err)
+	}
+	// Make sure the stream holds no extra data beyond the declared size.
+	var extra [1]byte
+	if n, _ := r.Read(extra[:]); n != 0 {
+		return nil, fmt.Errorf("compress: gzip block larger than declared %d bytes",
+			originalSize)
+	}
+	return out, nil
+}
+
+type lz4Codec struct{}
+
+func (lz4Codec) Kind() Kind { return LZ4 }
+
+func (lz4Codec) Compress(src []byte) ([]byte, error) {
+	return lz4.Compress(src), nil
+}
+
+func (lz4Codec) Decompress(src []byte, originalSize int) ([]byte, error) {
+	return lz4.Decompress(src, originalSize)
+}

@@ -1,0 +1,199 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{None: "raw", Gzip: "gzip", LZ4: "lz4", Kind(9): "kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, s := range []string{"raw", "none", ""} {
+		k, err := ParseKind(s)
+		if err != nil || k != None {
+			t.Errorf("ParseKind(%q) = %v, %v", s, k, err)
+		}
+	}
+	if k, err := ParseKind("gzip"); err != nil || k != Gzip {
+		t.Errorf("ParseKind(gzip) = %v, %v", k, err)
+	}
+	if k, err := ParseKind("lz4"); err != nil || k != LZ4 {
+		t.Errorf("ParseKind(lz4) = %v, %v", k, err)
+	}
+	if _, err := ParseKind("zstd"); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{None, Gzip, LZ4} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%v.String()) = %v, %v", k, got, err)
+		}
+	}
+}
+
+func TestByKind(t *testing.T) {
+	for _, k := range []Kind{None, Gzip, LZ4} {
+		c, err := ByKind(k)
+		if err != nil {
+			t.Fatalf("ByKind(%v): %v", k, err)
+		}
+		if c.Kind() != k {
+			t.Errorf("ByKind(%v).Kind() = %v", k, c.Kind())
+		}
+	}
+	if _, err := ByKind(Kind(42)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestMustByKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustByKind(Kind(200))
+}
+
+func TestAllOrder(t *testing.T) {
+	all := All()
+	if len(all) != 3 || all[0].Kind() != None || all[1].Kind() != Gzip || all[2].Kind() != LZ4 {
+		t.Errorf("All() order wrong: %v", all)
+	}
+}
+
+func testRoundTrip(t *testing.T, c Codec, src []byte) {
+	t.Helper()
+	enc, err := c.Compress(src)
+	if err != nil {
+		t.Fatalf("%v compress: %v", c.Kind(), err)
+	}
+	dec, err := c.Decompress(enc, len(src))
+	if err != nil {
+		t.Fatalf("%v decompress: %v", c.Kind(), err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("%v round trip mismatch (%d bytes)", c.Kind(), len(src))
+	}
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inputs := [][]byte{
+		nil,
+		[]byte("x"),
+		bytes.Repeat([]byte("scientific data "), 1000),
+		make([]byte, 4096), // zeros
+	}
+	random := make([]byte, 10_000)
+	rng.Read(random)
+	inputs = append(inputs, random)
+
+	for _, c := range All() {
+		for _, src := range inputs {
+			testRoundTrip(t, c, src)
+		}
+	}
+}
+
+func TestCompressibleDataShrinks(t *testing.T) {
+	src := make([]byte, 1<<18) // zeros: maximally compressible
+	for _, k := range []Kind{Gzip, LZ4} {
+		c := MustByKind(k)
+		enc, err := c.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) >= len(src)/50 {
+			t.Errorf("%v: zeros compressed to %d/%d, expected >50x", k, len(enc), len(src))
+		}
+	}
+}
+
+func TestGzipBeatsLZ4OnRatio(t *testing.T) {
+	// The paper reports GZip achieving higher ratios than LZ4 on the
+	// asteroid dataset (7-588x vs 6-299x); verify the same ordering holds
+	// for our codecs on structured data.
+	rng := rand.New(rand.NewSource(4))
+	src := make([]byte, 1<<18)
+	for i := 0; i < len(src); i += 4 {
+		if rng.Float32() < 0.05 {
+			src[i+1] = byte(rng.Intn(16))
+		}
+	}
+	gz, _ := MustByKind(Gzip).Compress(src)
+	l4, _ := MustByKind(LZ4).Compress(src)
+	if len(gz) >= len(l4) {
+		t.Errorf("gzip (%d) should beat lz4 (%d) on ratio for structured data",
+			len(gz), len(l4))
+	}
+}
+
+func TestDecompressWrongSize(t *testing.T) {
+	src := bytes.Repeat([]byte("abc"), 100)
+	for _, c := range All() {
+		enc, err := c.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Decompress(enc, len(src)+1); err == nil {
+			t.Errorf("%v: oversize decode accepted", c.Kind())
+		}
+		if _, err := c.Decompress(enc, len(src)-1); err == nil {
+			t.Errorf("%v: undersize decode accepted", c.Kind())
+		}
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	garbage := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}
+	for _, k := range []Kind{Gzip, LZ4} {
+		if _, err := MustByKind(k).Decompress(garbage, 100); err == nil {
+			t.Errorf("%v: garbage accepted", k)
+		}
+	}
+}
+
+func TestNoneCodecCopies(t *testing.T) {
+	c := MustByKind(None)
+	src := []byte{1, 2, 3}
+	enc, _ := c.Compress(src)
+	enc[0] = 9
+	if src[0] != 1 {
+		t.Error("None.Compress aliased input")
+	}
+	dec, _ := c.Decompress(src, 3)
+	dec[0] = 9
+	if src[0] != 1 {
+		t.Error("None.Decompress aliased input")
+	}
+}
+
+func TestQuickRoundTripAllCodecs(t *testing.T) {
+	for _, c := range All() {
+		c := c
+		f := func(data []byte) bool {
+			enc, err := c.Compress(data)
+			if err != nil {
+				return false
+			}
+			dec, err := c.Decompress(enc, len(data))
+			return err == nil && bytes.Equal(dec, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%v: %v", c.Kind(), err)
+		}
+	}
+}

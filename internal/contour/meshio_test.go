@@ -1,0 +1,119 @@
+package contour
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWriteOBJ(t *testing.T) {
+	g, vals := sphereField(12)
+	m, err := MarchingTetrahedra(g, vals, []float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteOBJ(&buf); err != nil {
+		t.Fatal(err)
+	}
+	nv, nf := countOBJ(t, buf.String())
+	if nv != m.NumVertices() || nf != m.NumTriangles() {
+		t.Errorf("OBJ has %d verts/%d faces, want %d/%d",
+			nv, nf, m.NumVertices(), m.NumTriangles())
+	}
+	if strings.Contains(buf.String(), "vn ") {
+		t.Error("normals written without ComputeNormals")
+	}
+
+	m.ComputeNormals()
+	buf.Reset()
+	if err := m.WriteOBJ(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "vn ") || !strings.Contains(buf.String(), "//") {
+		t.Error("normals missing after ComputeNormals")
+	}
+}
+
+func countOBJ(t *testing.T, s string) (verts, faces int) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(s))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "v "):
+			verts++
+		case strings.HasPrefix(line, "f "):
+			faces++
+			// All indices must be within range (1-based).
+			var a, b, c int
+			rest := strings.NewReader(line[2:])
+			if _, err := fmt.Fscan(rest, &a, &b, &c); err == nil {
+				if a < 1 || b < 1 || c < 1 {
+					t.Fatalf("non-positive OBJ index in %q", line)
+				}
+			}
+		}
+	}
+	return
+}
+
+func TestWritePLY(t *testing.T) {
+	g, vals := sphereField(10)
+	m, err := MarchingTetrahedra(g, vals, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ComputeNormals()
+	var buf bytes.Buffer
+	if err := m.WritePLY(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "ply\nformat ascii 1.0\n") {
+		t.Error("missing PLY header")
+	}
+	if !strings.Contains(s, fmt.Sprintf("element vertex %d", m.NumVertices())) {
+		t.Error("wrong vertex count in header")
+	}
+	if !strings.Contains(s, fmt.Sprintf("element face %d", m.NumTriangles())) {
+		t.Error("wrong face count in header")
+	}
+	if !strings.Contains(s, "property float nx") {
+		t.Error("missing normal properties")
+	}
+	// Body line count: header lines + verts + faces.
+	lines := strings.Count(strings.TrimSpace(s), "\n") + 1
+	header := strings.Count(s[:strings.Index(s, "end_header")], "\n") + 1
+	if lines != header+m.NumVertices()+m.NumTriangles() {
+		t.Errorf("PLY line count %d, want %d", lines, header+m.NumVertices()+m.NumTriangles())
+	}
+}
+
+func TestWriteLinesOBJ(t *testing.T) {
+	g, vals := circleField(16)
+	ls, err := MarchingSquares(g, vals, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ls.WriteOBJ(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\nl ") != ls.NumSegments() {
+		t.Errorf("segment lines = %d, want %d",
+			strings.Count(buf.String(), "\nl "), ls.NumSegments())
+	}
+}
+
+func TestWriteOBJEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Mesh{}).WriteOBJ(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Mesh{}).WritePLY(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package contour
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MarchingTetrahedraParallel extracts isosurfaces like
+// MarchingTetrahedraGeom but sweeps cell-layer slabs concurrently.
+// Workers build slab-local meshes with slab-local vertex dedup; a
+// sequential merge then stitches them in slab order, unifying the
+// vertices shared on slab-boundary layers. Because slabs merge in the
+// same order the serial sweep visits them and dedup is by the same edge
+// keys, the result is bit-identical to the serial filter — enforced by
+// tests and usable interchangeably for the NDP post-filter.
+//
+// workers <= 0 uses GOMAXPROCS.
+func MarchingTetrahedraParallel(g Geometry, values []float32, isovalues []float64, workers int) (*Mesh, error) {
+	dims, err := validateMarchInputs(g, values, isovalues)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cellLayers := dims.Z - 1
+	if workers > cellLayers {
+		workers = cellLayers
+	}
+	if workers <= 1 {
+		return MarchingTetrahedraGeom(g, values, isovalues)
+	}
+
+	type slab struct {
+		k0, k1 int
+		mesh   *Mesh
+		keys   []uint64 // edge key of each local vertex, in index order
+	}
+	slabs := make([]slab, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		k0 := cellLayers * w / workers
+		k1 := cellLayers * (w + 1) / workers
+		slabs[w] = slab{k0: k0, k1: k1, mesh: &Mesh{}}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := &slabs[w]
+			verts := make(map[uint64]int32)
+			marchSlab(g, values, isovalues, s.k0, s.k1, s.mesh, verts)
+			s.keys = make([]uint64, len(s.mesh.Vertices))
+			for key, idx := range verts {
+				s.keys[idx] = key
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Sequential merge in slab order: vertices are deduplicated globally
+	// by edge key, so boundary-layer vertices shared by adjacent slabs
+	// collapse to the first slab's copy.
+	out := &Mesh{}
+	global := make(map[uint64]int32)
+	for w := range slabs {
+		s := &slabs[w]
+		remap := make([]int32, len(s.mesh.Vertices))
+		for li, key := range s.keys {
+			if gi, ok := global[key]; ok {
+				remap[li] = gi
+				continue
+			}
+			gi := int32(len(out.Vertices))
+			out.Vertices = append(out.Vertices, s.mesh.Vertices[li])
+			global[key] = gi
+			remap[li] = gi
+		}
+		for _, t := range s.mesh.Tris {
+			out.Tris = append(out.Tris, [3]int32{remap[t[0]], remap[t[1]], remap[t[2]]})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+package contour
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vizndp/internal/grid"
+)
+
+func TestThresholdCellsSphereShell(t *testing.T) {
+	g, vals := sphereField(24)
+	cs, err := ThresholdCells(g, vals, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Count() == 0 || cs.Count() == g.NumCells() {
+		t.Fatalf("kept %d of %d cells", cs.Count(), g.NumCells())
+	}
+	// Every kept cell has a corner in range; every dropped cell has none.
+	kept := make(map[int32]bool, cs.Count())
+	for _, c := range cs.Cells {
+		kept[c] = true
+	}
+	nx, ny := g.Dims.X, g.Dims.Y
+	cellsX, cellsY := nx-1, ny-1
+	for k := 0; k < g.Dims.Z-1; k++ {
+		for j := 0; j < cellsY; j++ {
+			for i := 0; i < cellsX; i++ {
+				any := false
+				for c := 0; c < 8; c++ {
+					dx, dy, dz := c&1, (c>>1)&1, (c>>2)&1
+					v := float64(vals[g.PointIndex(i+dx, j+dy, k+dz)])
+					if v >= 8 && v <= 10 {
+						any = true
+					}
+				}
+				id := int32((k*cellsY+j)*cellsX + i)
+				if any != kept[id] {
+					t.Fatalf("cell (%d,%d,%d): any=%v kept=%v", i, j, k, any, kept[id])
+				}
+			}
+		}
+	}
+}
+
+func TestThresholdCellsSorted(t *testing.T) {
+	g, vals := sphereField(16)
+	cs, err := ThresholdCells(g, vals, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cs.Cells); i++ {
+		if cs.Cells[i] <= cs.Cells[i-1] {
+			t.Fatal("cell ids not strictly increasing")
+		}
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	g, vals := sphereField(8)
+	if _, err := ThresholdCells(g, vals, 5, 2); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := ThresholdCells(g, vals, math.NaN(), 2); err == nil {
+		t.Error("NaN bound accepted")
+	}
+	if _, err := ThresholdCells(g, vals[:5], 1, 2); err == nil {
+		t.Error("short values accepted")
+	}
+	if _, err := SelectRangeCorners(g, vals, 5, 2); err == nil {
+		t.Error("inverted range accepted by selector")
+	}
+}
+
+func TestThresholdSparseInvariant(t *testing.T) {
+	// The split-threshold invariant: evaluating the threshold on the
+	// NaN-masked selection reproduces the full cell set exactly.
+	for _, seed := range []int64{1, 2, 3} {
+		g := grid.NewUniform(20, 20, 20)
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float32, g.NumPoints())
+		for i := range vals {
+			vals[i] = rng.Float32()
+		}
+		smooth(g, vals, 2)
+		lo, hi := 0.45, 0.55
+
+		full, err := ThresholdCells(g, vals, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask, err := SelectRangeCorners(g, vals, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparse := make([]float32, len(vals))
+		nan := float32(math.NaN())
+		for i := range sparse {
+			if mask.Get(i) {
+				sparse[i] = vals[i]
+			} else {
+				sparse[i] = nan
+			}
+		}
+		got, err := ThresholdCells(g, sparse, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(full) {
+			t.Fatalf("seed %d: sparse threshold differs (%d vs %d cells)",
+				seed, got.Count(), full.Count())
+		}
+		if mask.Count() == 0 || mask.Count() == g.NumPoints() {
+			t.Fatalf("seed %d: degenerate selection %d", seed, mask.Count())
+		}
+	}
+}
+
+func TestThreshold2D(t *testing.T) {
+	g, vals := circleField(32)
+	cs, err := ThresholdCells(g, vals, 9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Count() == 0 {
+		t.Fatal("no cells in 2D ring")
+	}
+	mask, err := SelectRangeCorners(g, vals, 9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := make([]float32, len(vals))
+	nan := float32(math.NaN())
+	for i := range sparse {
+		if mask.Get(i) {
+			sparse[i] = vals[i]
+		} else {
+			sparse[i] = nan
+		}
+	}
+	got, err := ThresholdCells(g, sparse, 9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(cs) {
+		t.Error("2D sparse threshold differs from full")
+	}
+}
+
+func TestCellSetEqual(t *testing.T) {
+	a := &CellSet{Cells: []int32{1, 2, 3}}
+	b := &CellSet{Cells: []int32{1, 2, 3}}
+	if !a.Equal(b) {
+		t.Error("equal sets not equal")
+	}
+	b.Cells[2] = 4
+	if a.Equal(b) {
+		t.Error("different sets equal")
+	}
+	if a.Equal(&CellSet{}) {
+		t.Error("different sizes equal")
+	}
+}
+
+func TestSelectRangeCornersSuperset(t *testing.T) {
+	g, vals := sphereField(20)
+	mask, err := SelectRangeCorners(g, vals, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ThresholdCells(g, vals, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every corner of every kept cell is selected.
+	cellsX, cellsY := g.Dims.X-1, g.Dims.Y-1
+	for _, id := range cs.Cells {
+		i := int(id) % cellsX
+		j := (int(id) / cellsX) % cellsY
+		k := int(id) / (cellsX * cellsY)
+		for c := 0; c < 8; c++ {
+			dx, dy, dz := c&1, (c>>1)&1, (c>>2)&1
+			if !mask.Get(g.PointIndex(i+dx, j+dy, k+dz)) {
+				t.Fatalf("cell %d corner (%d,%d,%d) not selected", id, i+dx, j+dy, k+dz)
+			}
+		}
+	}
+}
+
+func BenchmarkSelectRangeCorners64(b *testing.B) {
+	g, vals := sphereField(64)
+	b.SetBytes(int64(4 * len(vals)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectRangeCorners(g, vals, 20, 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

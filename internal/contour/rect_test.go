@@ -1,0 +1,141 @@
+package contour
+
+import (
+	"math"
+	"testing"
+
+	"vizndp/internal/grid"
+)
+
+// rectSphere builds a rectilinear grid with non-uniform spacing and the
+// distance field measured in its warped world coordinates.
+func rectSphere(n int) (*grid.Rectilinear, []float32) {
+	coords := func() []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			u := float64(i) / float64(n-1)
+			out[i] = u + 0.4*u*u // stretched toward the far end
+		}
+		return out
+	}
+	g := grid.NewRectilinear(coords(), coords(), coords())
+	vals := make([]float32, g.NumPoints())
+	c := g.PointPosition(n/2, n/2, n/2)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				p := g.PointPosition(i, j, k)
+				vals[g.PointIndex(i, j, k)] = float32(p.Sub(c).Norm())
+			}
+		}
+	}
+	return g, vals
+}
+
+func TestRectilinearContourSphere(t *testing.T) {
+	g, vals := rectSphere(28)
+	r := 0.35
+	m, err := MarchingTetrahedraGeom(g, vals, []float64{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTriangles() == 0 {
+		t.Fatal("no triangles")
+	}
+	if be := m.BoundaryEdges(); be != 0 {
+		t.Errorf("boundary edges = %d, want watertight", be)
+	}
+	// Vertices sit near the sphere in world space despite the warped grid.
+	c := g.PointPosition(14, 14, 14)
+	maxCell := 0.1 // generous: cell sizes vary
+	for _, v := range m.Vertices {
+		d := v.Sub(c).Norm()
+		if math.Abs(d-r) > maxCell {
+			t.Fatalf("vertex at distance %.3f, want ~%.2f", d, r)
+		}
+	}
+	area := m.Area()
+	want := 4 * math.Pi * r * r
+	if math.Abs(area-want)/want > 0.2 {
+		t.Errorf("area = %.3f, want ~%.3f", area, want)
+	}
+}
+
+func TestRectilinearMatchesUniformWhenRegular(t *testing.T) {
+	// A rectilinear grid with evenly spaced coordinates must contour
+	// exactly like the equivalent uniform grid.
+	u := grid.NewUniform(20, 20, 20)
+	u.Spacing = grid.Vec3{X: 0.5, Y: 0.5, Z: 0.5}
+	vals := make([]float32, u.NumPoints())
+	c := 9.5 * 0.5
+	for k := 0; k < 20; k++ {
+		for j := 0; j < 20; j++ {
+			for i := 0; i < 20; i++ {
+				p := u.PointPosition(i, j, k)
+				dx, dy, dz := p.X-c, p.Y-c, p.Z-c
+				vals[u.PointIndex(i, j, k)] = float32(math.Sqrt(dx*dx + dy*dy + dz*dz))
+			}
+		}
+	}
+	mu, err := MarchingTetrahedra(u, vals, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := MarchingTetrahedraGeom(u.ToRectilinear(), vals, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mu.Equal(mr) {
+		t.Error("rectilinear contour differs from uniform on a regular grid")
+	}
+}
+
+func TestRectilinearSparseInvariant(t *testing.T) {
+	// The NDP flow for rectilinear grids: selection is topological (run
+	// on a uniform-topology twin), contouring is geometric. The sparse
+	// rectilinear contour must equal the full rectilinear contour.
+	g, vals := rectSphere(24)
+	topo := grid.NewUniform(24, 24, 24) // same topology, any geometry
+	isos := []float64{0.3}
+
+	full, err := MarchingTetrahedraGeom(g, vals, isos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, err := SelectCellCorners(topo, vals, isos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := make([]float32, len(vals))
+	nan := float32(math.NaN())
+	for i := range sparse {
+		if mask.Get(i) {
+			sparse[i] = vals[i]
+		} else {
+			sparse[i] = nan
+		}
+	}
+	got, err := MarchingTetrahedraGeom(g, sparse, isos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(full) {
+		t.Fatalf("sparse rectilinear contour differs (%d vs %d tris)",
+			got.NumTriangles(), full.NumTriangles())
+	}
+}
+
+func TestRectilinearValidationErrors(t *testing.T) {
+	g := grid.NewRectilinear([]float64{0, 1}, []float64{0, 1}, []float64{0, 1})
+	if _, err := MarchingTetrahedraGeom(g, make([]float32, 3), []float64{1}); err == nil {
+		t.Error("short values accepted")
+	}
+	bad := grid.NewRectilinear([]float64{1, 0}, []float64{0, 1}, []float64{0, 1})
+	if _, err := MarchingTetrahedraGeom(bad, make([]float32, 8), []float64{1}); err == nil {
+		t.Error("invalid grid accepted")
+	}
+	flat := grid.NewRectilinear([]float64{0, 1}, []float64{0, 1}, []float64{0})
+	if _, err := MarchingTetrahedraGeom(flat, make([]float32, 4), []float64{1}); err == nil {
+		t.Error("2D rectilinear accepted by 3D filter")
+	}
+}

@@ -1,0 +1,225 @@
+package contour
+
+import (
+	"runtime"
+	"sync"
+
+	"vizndp/internal/bitset"
+	"vizndp/internal/grid"
+)
+
+// straddles reports whether the edge (va, vb) crosses iso under the same
+// classification the contour filters use (inside = value < iso). NaN
+// endpoints never straddle.
+func straddles(va, vb float32, iso float64) bool {
+	if isNaN32(va) || isNaN32(vb) {
+		return false
+	}
+	a := float64(va) < iso
+	b := float64(vb) < iso
+	return a != b
+}
+
+// InterestingEdgePoints marks every mesh point incident to at least one
+// axis-aligned "interesting edge" — an edge whose endpoint values
+// straddle one of the isovalues. This is exactly the point set the paper
+// measures in Fig. 6 and the minimal information a classic marching-cubes
+// post-filter needs.
+func InterestingEdgePoints(g *grid.Uniform, values []float32, isovalues []float64) (*bitset.Bitset, error) {
+	if err := validateInputs(g, values, isovalues); err != nil {
+		return nil, err
+	}
+	nx, ny, nz := g.Dims.X, g.Dims.Y, g.Dims.Z
+	strideY := nx
+	strideZ := nx * ny
+
+	mask := parallelSlabs(nz, g.NumPoints(), func(k0, k1 int, local *bitset.Bitset) {
+		for k := k0; k < k1; k++ {
+			for j := 0; j < ny; j++ {
+				base := k*strideZ + j*strideY
+				for i := 0; i < nx; i++ {
+					idx := base + i
+					v := values[idx]
+					for _, iso := range isovalues {
+						// +x, +y, +z neighbours; edges in the negative
+						// directions are covered from their other endpoint.
+						if i+1 < nx && straddles(v, values[idx+1], iso) {
+							local.Set(idx)
+							local.Set(idx + 1)
+						}
+						if j+1 < ny && straddles(v, values[idx+strideY], iso) {
+							local.Set(idx)
+							local.Set(idx + strideY)
+						}
+						if k+1 < nz && straddles(v, values[idx+strideZ], iso) {
+							local.Set(idx)
+							local.Set(idx + strideZ)
+						}
+					}
+				}
+			}
+		}
+	})
+	return mask, nil
+}
+
+// SelectCellCorners marks every corner point of each "interesting cell" —
+// a cell whose corner values straddle one of the isovalues. This is the
+// selection the NDP pre-filter ships: it is a small superset of
+// InterestingEdgePoints and guarantees the marching-tetrahedra
+// post-filter reproduces the full-array contour exactly, because every
+// cell that can emit geometry arrives with all of its corners.
+func SelectCellCorners(g *grid.Uniform, values []float32, isovalues []float64) (*bitset.Bitset, error) {
+	if err := validateInputs(g, values, isovalues); err != nil {
+		return nil, err
+	}
+	nx, ny := g.Dims.X, g.Dims.Y
+	strideY := nx
+
+	if g.Is2D() {
+		mask := bitset.New(g.NumPoints())
+		for j := 0; j < ny-1; j++ {
+			for i := 0; i < nx-1; i++ {
+				idx := j*strideY + i
+				corners := [4]int{idx, idx + 1, idx + strideY, idx + strideY + 1}
+				if cellStraddles(values, corners[:], isovalues) {
+					for _, c := range corners {
+						mask.Set(c)
+					}
+				}
+			}
+		}
+		return mask, nil
+	}
+
+	mask := bitset.New(g.NumPoints())
+	for _, iso := range isovalues {
+		selectCellCornersBits(g, values, iso, mask)
+	}
+	return mask, nil
+}
+
+// selectCellCornersGeneric is the straightforward per-cell scan. It is
+// kept as the reference implementation that tests compare the
+// bit-parallel fast path against.
+func selectCellCornersGeneric(g *grid.Uniform, values []float32, isovalues []float64) *bitset.Bitset {
+	nx, ny, nz := g.Dims.X, g.Dims.Y, g.Dims.Z
+	strideY := nx
+	strideZ := nx * ny
+
+	cellLayers := nz - 1
+	return parallelSlabs(cellLayers, g.NumPoints(), func(k0, k1 int, local *bitset.Bitset) {
+		var corners [8]int
+		for k := k0; k < k1; k++ {
+			for j := 0; j < ny-1; j++ {
+				base := k*strideZ + j*strideY
+				for i := 0; i < nx-1; i++ {
+					idx := base + i
+					corners = [8]int{
+						idx, idx + 1,
+						idx + strideY, idx + strideY + 1,
+						idx + strideZ, idx + strideZ + 1,
+						idx + strideZ + strideY, idx + strideZ + strideY + 1,
+					}
+					if cellStraddles(values, corners[:], isovalues) {
+						for _, c := range corners {
+							local.Set(c)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// parallelRange splits [0,n) across workers.
+func parallelRange(n int, work func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		work(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// cellStraddles reports whether the cell's corner values cross any
+// isovalue. Cells containing NaN never straddle.
+func cellStraddles(values []float32, corners []int, isovalues []float64) bool {
+	lo := values[corners[0]]
+	hi := lo
+	for _, c := range corners[1:] {
+		v := values[c]
+		if isNaN32(v) {
+			return false
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if isNaN32(lo) {
+		return false
+	}
+	for _, iso := range isovalues {
+		if float64(lo) < iso && float64(hi) >= iso {
+			return true
+		}
+	}
+	return false
+}
+
+// parallelSlabs splits layers [0,n) across workers, each filling a local
+// bitmap of nbits, and ORs the results together. Local bitmaps avoid
+// write contention on the shared layer between adjacent slabs.
+func parallelSlabs(n, nbits int, work func(k0, k1 int, local *bitset.Bitset)) *bitset.Bitset {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		mask := bitset.New(nbits)
+		work(0, n, mask)
+		return mask
+	}
+	locals := make([]*bitset.Bitset, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		k0 := n * w / workers
+		k1 := n * (w + 1) / workers
+		locals[w] = bitset.New(nbits)
+		wg.Add(1)
+		go func(w, k0, k1 int) {
+			defer wg.Done()
+			work(k0, k1, locals[w])
+		}(w, k0, k1)
+	}
+	wg.Wait()
+	mask := locals[0]
+	for _, l := range locals[1:] {
+		mask.Or(l)
+	}
+	return mask
+}
+
+// Selectivity returns the fraction of points selected by mask.
+func Selectivity(mask *bitset.Bitset) float64 {
+	if mask.Len() == 0 {
+		return 0
+	}
+	return float64(mask.Count()) / float64(mask.Len())
+}

@@ -1,0 +1,261 @@
+package contour
+
+import (
+	"fmt"
+	"math"
+
+	"vizndp/internal/grid"
+)
+
+// maxPointsForKey bounds grid sizes so (point, point, isovalue) edge keys
+// pack into a uint64: 28 bits per point index and 8 bits of isovalue
+// index cover grids beyond the paper's 500^3.
+const maxPointsForKey = 1 << 28
+
+// kuhnTets lists the Kuhn 6-tetrahedron decomposition of the unit cube.
+// Corner c encodes offsets (dx,dy,dz) as c = dx + 2*dy + 4*dz. Every tet
+// runs from corner 0 (000) to corner 7 (111) adding one axis at a time,
+// which makes shared cube faces carry matching diagonals across
+// neighbouring cells.
+var kuhnTets = [6][4]int{
+	{0, 1, 3, 7}, // +x +y +z
+	{0, 1, 5, 7}, // +x +z +y
+	{0, 2, 3, 7}, // +y +x +z
+	{0, 2, 6, 7}, // +y +z +x
+	{0, 4, 5, 7}, // +z +x +y
+	{0, 4, 6, 7}, // +z +y +x
+}
+
+// Geometry abstracts the grid types the contour filters accept: the
+// uniform grids of the paper's prototype and the rectilinear grids it
+// names as future work. Topology (x-fastest point indexing) is fixed;
+// only point placement varies.
+type Geometry interface {
+	// GridDims returns the per-axis point counts.
+	GridDims() grid.Dims
+	// PointPosition returns the world position of point (i,j,k).
+	PointPosition(i, j, k int) grid.Vec3
+	// Validate rejects unusable grids.
+	Validate() error
+}
+
+var (
+	_ Geometry = (*grid.Uniform)(nil)
+	_ Geometry = (*grid.Rectilinear)(nil)
+)
+
+// MarchingTetrahedra extracts the isosurfaces of values over g at each of
+// the given isovalues, returning a single indexed mesh. Points valued NaN
+// mark data withheld by the NDP pre-filter; cells touching them are
+// skipped. A point is "inside" when its value is strictly below the
+// isovalue, so flat regions exactly at an isovalue produce no surface.
+func MarchingTetrahedra(g *grid.Uniform, values []float32, isovalues []float64) (*Mesh, error) {
+	if err := validateInputs(g, values, isovalues); err != nil {
+		return nil, err
+	}
+	return MarchingTetrahedraGeom(g, values, isovalues)
+}
+
+// validateMarchInputs performs the shared checks of the 3D filters and
+// returns the grid dims.
+func validateMarchInputs(g Geometry, values []float32, isovalues []float64) (grid.Dims, error) {
+	if err := g.Validate(); err != nil {
+		return grid.Dims{}, err
+	}
+	dims := g.GridDims()
+	if len(values) != dims.NumPoints() {
+		return dims, fmt.Errorf("contour: %d values for %d grid points",
+			len(values), dims.NumPoints())
+	}
+	if len(isovalues) == 0 {
+		return dims, fmt.Errorf("contour: no isovalues")
+	}
+	for _, v := range isovalues {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return dims, fmt.Errorf("contour: invalid isovalue %v", v)
+		}
+	}
+	if dims.NumPoints() > maxPointsForKey {
+		return dims, fmt.Errorf("contour: grid of %d points exceeds the %d-point limit",
+			dims.NumPoints(), maxPointsForKey)
+	}
+	if len(isovalues) > 255 {
+		return dims, fmt.Errorf("contour: %d isovalues exceeds the 255 limit", len(isovalues))
+	}
+	if dims.Z == 1 {
+		return dims, fmt.Errorf("contour: grid %v is 2D; use MarchingSquares", dims)
+	}
+	return dims, nil
+}
+
+// MarchingTetrahedraGeom is MarchingTetrahedra over any Geometry —
+// in particular rectilinear grids, whose NDP payloads are identical to
+// uniform ones (the pre-filter is purely topological) and only contour
+// geometrically differently on the client.
+func MarchingTetrahedraGeom(g Geometry, values []float32, isovalues []float64) (*Mesh, error) {
+	dims, err := validateMarchInputs(g, values, isovalues)
+	if err != nil {
+		return nil, err
+	}
+
+	mesh := &Mesh{}
+	// Deduplicated interpolated vertices, keyed by (edge, isovalue).
+	verts := make(map[uint64]int32)
+	marchSlab(g, values, isovalues, 0, dims.Z-1, mesh, verts)
+	return mesh, nil
+}
+
+// marchSlab runs the marching-tetrahedra sweep over cell layers
+// [k0, k1), appending to mesh and deduplicating through verts.
+func marchSlab(g Geometry, values []float32, isovalues []float64,
+	k0, k1 int, mesh *Mesh, verts map[uint64]int32) {
+
+	dims := g.GridDims()
+	nx, ny := dims.X, dims.Y
+	strideY := nx
+	strideZ := nx * ny
+
+	var cornerIdx [8]int
+	var cornerVal [8]float64
+	var cornerPos [8]grid.Vec3
+
+	for k := k0; k < k1; k++ {
+		for j := 0; j < ny-1; j++ {
+			base := k*strideZ + j*strideY
+			for i := 0; i < nx-1; i++ {
+				// Gather the cell's corners; reject NaN cells early.
+				lo := math.Inf(1)
+				hi := math.Inf(-1)
+				hasNaN := false
+				for c := 0; c < 8; c++ {
+					dx, dy, dz := c&1, (c>>1)&1, (c>>2)&1
+					idx := base + i + dx + dy*strideY + dz*strideZ
+					v := values[idx]
+					if isNaN32(v) {
+						hasNaN = true
+						break
+					}
+					cornerIdx[c] = idx
+					fv := float64(v)
+					cornerVal[c] = fv
+					if fv < lo {
+						lo = fv
+					}
+					if fv > hi {
+						hi = fv
+					}
+				}
+				if hasNaN {
+					continue
+				}
+				for isoIdx, iso := range isovalues {
+					// The cell contributes only if some corner is inside
+					// (v < iso) and some outside (v >= iso).
+					if lo >= iso || hi < iso {
+						continue
+					}
+					for c := 0; c < 8; c++ {
+						dx, dy, dz := c&1, (c>>1)&1, (c>>2)&1
+						cornerPos[c] = g.PointPosition(i+dx, j+dy, k+dz)
+					}
+					for _, tet := range kuhnTets {
+						marchTet(mesh, verts, &cornerIdx, &cornerVal, &cornerPos,
+							tet, iso, uint64(isoIdx))
+					}
+				}
+			}
+		}
+	}
+}
+
+// marchTet emits the triangles for one tetrahedron.
+func marchTet(mesh *Mesh, verts map[uint64]int32,
+	idx *[8]int, val *[8]float64, pos *[8]grid.Vec3,
+	tet [4]int, iso float64, isoIdx uint64) {
+
+	var inside, outside [4]int
+	ni, no := 0, 0
+	for _, c := range tet {
+		if val[c] < iso {
+			inside[ni] = c
+			ni++
+		} else {
+			outside[no] = c
+			no++
+		}
+	}
+	if ni == 0 || ni == 4 {
+		return
+	}
+
+	// edgeVert returns the deduplicated interpolated vertex on edge (a,b).
+	edgeVert := func(a, b int) int32 {
+		ga, gb := idx[a], idx[b]
+		pa, pb := pos[a], pos[b]
+		va, vb := val[a], val[b]
+		if ga > gb {
+			ga, gb = gb, ga
+			pa, pb = pb, pa
+			va, vb = vb, va
+		}
+		key := uint64(ga)<<36 | uint64(gb)<<8 | isoIdx
+		if vi, ok := verts[key]; ok {
+			return vi
+		}
+		t := (iso - va) / (vb - va)
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+		p := pa.Add(pb.Sub(pa).Scale(t))
+		vi := int32(len(mesh.Vertices))
+		mesh.Vertices = append(mesh.Vertices, p)
+		verts[key] = vi
+		return vi
+	}
+
+	// addTri appends a triangle wound so its normal points from the
+	// inside region (v < iso) toward the outside region.
+	addTri := func(a, b, c int32, outward grid.Vec3) {
+		pa, pb, pc := mesh.Vertices[a], mesh.Vertices[b], mesh.Vertices[c]
+		n := pb.Sub(pa).Cross(pc.Sub(pa))
+		if n.Dot(outward) < 0 {
+			b, c = c, b
+		}
+		mesh.Tris = append(mesh.Tris, [3]int32{a, b, c})
+	}
+
+	// outward direction: from the inside corners' centroid toward the
+	// outside corners' centroid.
+	var cin, cout grid.Vec3
+	for i := 0; i < ni; i++ {
+		cin = cin.Add(pos[inside[i]])
+	}
+	for i := 0; i < no; i++ {
+		cout = cout.Add(pos[outside[i]])
+	}
+	outward := cout.Scale(1 / float64(no)).Sub(cin.Scale(1 / float64(ni)))
+
+	switch ni {
+	case 1:
+		a := edgeVert(inside[0], outside[0])
+		b := edgeVert(inside[0], outside[1])
+		c := edgeVert(inside[0], outside[2])
+		addTri(a, b, c, outward)
+	case 3:
+		a := edgeVert(inside[0], outside[0])
+		b := edgeVert(inside[1], outside[0])
+		c := edgeVert(inside[2], outside[0])
+		addTri(a, b, c, outward)
+	case 2:
+		// Quad across the tet: edges (i0,o0), (i0,o1), (i1,o1), (i1,o0)
+		// in cyclic order, split into two triangles.
+		q0 := edgeVert(inside[0], outside[0])
+		q1 := edgeVert(inside[0], outside[1])
+		q2 := edgeVert(inside[1], outside[1])
+		q3 := edgeVert(inside[1], outside[0])
+		addTri(q0, q1, q2, outward)
+		addTri(q0, q2, q3, outward)
+	}
+}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"vizndp/internal/contour"
+	"vizndp/internal/grid"
+	"vizndp/internal/rpc"
+	"vizndp/internal/vtkio"
+)
+
+// Client drives a remote NDP server. It is the client-side counterpart
+// of the storage-side partial pipeline: it requests pre-filtered
+// payloads and hands them to the post-filter.
+type Client struct {
+	rpc *rpc.Client
+}
+
+// Dial connects to an NDP server at addr, optionally through a custom
+// dial function (for example a netsim.Link's Dial).
+func Dial(addr string, dialFn func(network, addr string) (net.Conn, error)) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr, dialFn)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: c}, nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{rpc: rpc.NewClient(conn)}
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// List returns the entries under dir on the server's store; directories
+// carry a trailing slash.
+func (c *Client) List(dir string) ([]string, error) {
+	res, err := c.rpc.Call(MethodList, dir)
+	if err != nil {
+		return nil, err
+	}
+	items, ok := res.([]any)
+	if !ok {
+		return nil, fmt.Errorf("core: list returned %T", res)
+	}
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		s, ok := it.(string)
+		if !ok {
+			return nil, fmt.Errorf("core: list entry is %T", it)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ArrayDesc describes one stored array on the server.
+type ArrayDesc struct {
+	Name           string
+	Codec          string
+	CompressedSize int64
+	RawSize        int64
+}
+
+// Description is the remote dataset's metadata.
+type Description struct {
+	Grid *grid.Uniform
+	// Rect carries explicit coordinates when the remote file stores a
+	// rectilinear grid; nil for uniform files.
+	Rect   *grid.Rectilinear
+	Arrays []ArrayDesc
+}
+
+// Array returns the description of the named array, or nil.
+func (d *Description) Array(name string) *ArrayDesc {
+	for i := range d.Arrays {
+		if d.Arrays[i].Name == name {
+			return &d.Arrays[i]
+		}
+	}
+	return nil
+}
+
+// Describe fetches a dataset file's metadata.
+func (c *Client) Describe(path string) (*Description, error) {
+	res, err := c.rpc.Call(MethodDescribe, path)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := res.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("core: describe returned %T", res)
+	}
+	dims, err := int3(m["dims"])
+	if err != nil {
+		return nil, fmt.Errorf("core: describe dims: %w", err)
+	}
+	origin, err := float3(m["origin"])
+	if err != nil {
+		return nil, fmt.Errorf("core: describe origin: %w", err)
+	}
+	spacing, err := float3(m["spacing"])
+	if err != nil {
+		return nil, fmt.Errorf("core: describe spacing: %w", err)
+	}
+	d := &Description{
+		Grid: &grid.Uniform{
+			Dims:    grid.Dims{X: dims[0], Y: dims[1], Z: dims[2]},
+			Origin:  grid.Vec3{X: origin[0], Y: origin[1], Z: origin[2]},
+			Spacing: grid.Vec3{X: spacing[0], Y: spacing[1], Z: spacing[2]},
+		},
+	}
+	if _, hasRect := m["coordsX"]; hasRect {
+		cx, err := floatSlice(m["coordsX"])
+		if err != nil {
+			return nil, fmt.Errorf("core: describe coordsX: %w", err)
+		}
+		cy, err := floatSlice(m["coordsY"])
+		if err != nil {
+			return nil, fmt.Errorf("core: describe coordsY: %w", err)
+		}
+		cz, err := floatSlice(m["coordsZ"])
+		if err != nil {
+			return nil, fmt.Errorf("core: describe coordsZ: %w", err)
+		}
+		d.Rect = grid.NewRectilinear(cx, cy, cz)
+		if err := d.Rect.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	arrays, _ := m["arrays"].([]any)
+	for _, a := range arrays {
+		am, ok := a.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("core: describe array entry is %T", a)
+		}
+		name, _ := am["name"].(string)
+		codec, _ := am["codec"].(string)
+		comp, _ := am["comp"].(int64)
+		raw, _ := am["raw"].(int64)
+		d.Arrays = append(d.Arrays, ArrayDesc{
+			Name: name, Codec: codec, CompressedSize: comp, RawSize: raw,
+		})
+	}
+	return d, nil
+}
+
+// FetchStats reports the cost breakdown of one pre-filtered fetch.
+type FetchStats struct {
+	// ReadTime is the server-side storage read (+ decompression) time.
+	ReadTime time.Duration
+	// FilterTime is the server-side pre-filter scan + encode time.
+	FilterTime time.Duration
+	// TransferTime is the client-observed RPC time minus the server-side
+	// work, i.e. the network cost.
+	TransferTime time.Duration
+	// TotalTime is the client-observed end-to-end fetch time.
+	TotalTime time.Duration
+	// RawBytes is the full array size the baseline would have moved.
+	RawBytes int64
+	// PayloadBytes is what actually crossed the network.
+	PayloadBytes int64
+	// SelectedPoints is the number of transferred mesh points.
+	SelectedPoints int
+}
+
+// FetchFiltered asks the server to pre-filter one array for the given
+// isovalues and returns the decoded payload.
+func (c *Client) FetchFiltered(path, array string, isovalues []float64, enc Encoding) (*Payload, *FetchStats, error) {
+	isos := make([]any, len(isovalues))
+	for i, v := range isovalues {
+		isos[i] = v
+	}
+	start := time.Now()
+	res, err := c.rpc.Call(MethodFetch, path, array, isos, enc.String())
+	if err != nil {
+		return nil, nil, err
+	}
+	return decodeFetchResult(res, time.Since(start))
+}
+
+// FetchRange asks the server to pre-filter one array for a threshold
+// range [lo, hi] — the split threshold filter's remote half.
+func (c *Client) FetchRange(path, array string, lo, hi float64, enc Encoding) (*Payload, *FetchStats, error) {
+	start := time.Now()
+	res, err := c.rpc.Call(MethodFetchRange, path, array, lo, hi, enc.String())
+	if err != nil {
+		return nil, nil, err
+	}
+	return decodeFetchResult(res, time.Since(start))
+}
+
+// FetchSlice asks the server to extract the plane axis=index from one
+// array and ship only that plane. It returns the slice's 2D grid, its
+// values, and the fetch statistics.
+func (c *Client) FetchSlice(path, array string, axis contour.Axis, index int) (*grid.Uniform, []float32, *FetchStats, error) {
+	start := time.Now()
+	res, err := c.rpc.Call(MethodFetchSlice, path, array, axis.String(), index)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	total := time.Since(start)
+	m, ok := res.(map[string]any)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("core: fetchslice returned %T", res)
+	}
+	dims, err := int3(m["dims"])
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: fetchslice dims: %w", err)
+	}
+	origin, err := float3(m["origin"])
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: fetchslice origin: %w", err)
+	}
+	spacing, err := float3(m["spacing"])
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: fetchslice spacing: %w", err)
+	}
+	raw, ok := m["values"].([]byte)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("core: fetchslice values is %T", m["values"])
+	}
+	vals, err := vtkio.BytesToFloats(raw)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g2 := &grid.Uniform{
+		Dims:    grid.Dims{X: dims[0], Y: dims[1], Z: dims[2]},
+		Origin:  grid.Vec3{X: origin[0], Y: origin[1], Z: origin[2]},
+		Spacing: grid.Vec3{X: spacing[0], Y: spacing[1], Z: spacing[2]},
+	}
+	if len(vals) != g2.NumPoints() {
+		return nil, nil, nil, fmt.Errorf("core: slice has %d values for %d points",
+			len(vals), g2.NumPoints())
+	}
+	readNS, _ := m["readns"].(int64)
+	filterNS, _ := m["filterns"].(int64)
+	rawBytes, _ := m["rawbytes"].(int64)
+	stats := &FetchStats{
+		ReadTime:       time.Duration(readNS),
+		FilterTime:     time.Duration(filterNS),
+		TotalTime:      total,
+		RawBytes:       rawBytes,
+		PayloadBytes:   int64(len(raw)),
+		SelectedPoints: len(vals),
+	}
+	if rest := total - stats.ReadTime - stats.FilterTime; rest > 0 {
+		stats.TransferTime = rest
+	}
+	return g2, vals, stats, nil
+}
+
+// decodeFetchResult unpacks the shared fetch reply shape.
+func decodeFetchResult(res any, total time.Duration) (*Payload, *FetchStats, error) {
+	m, ok := res.(map[string]any)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: fetch returned %T", res)
+	}
+	data, ok := m["payload"].([]byte)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: fetch payload is %T", m["payload"])
+	}
+	payload, err := DecodePayload(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	readNS, _ := m["readns"].(int64)
+	filterNS, _ := m["filterns"].(int64)
+	rawBytes, _ := m["rawbytes"].(int64)
+	selected, _ := m["selected"].(int64)
+	stats := &FetchStats{
+		ReadTime:       time.Duration(readNS),
+		FilterTime:     time.Duration(filterNS),
+		TotalTime:      total,
+		RawBytes:       rawBytes,
+		PayloadBytes:   int64(payload.WireSize()),
+		SelectedPoints: int(selected),
+	}
+	if rest := total - stats.ReadTime - stats.FilterTime; rest > 0 {
+		stats.TransferTime = rest
+	}
+	return payload, stats, nil
+}
+
+// FetchRaw pulls a whole array, bypassing the pre-filter. It is what the
+// baseline would transfer and exists for measurement and debugging.
+func (c *Client) FetchRaw(path, array string) ([]byte, time.Duration, error) {
+	res, err := c.rpc.Call(MethodFetchRaw, path, array)
+	if err != nil {
+		return nil, 0, err
+	}
+	m, ok := res.(map[string]any)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: fetchraw returned %T", res)
+	}
+	data, ok := m["data"].([]byte)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: fetchraw data is %T", m["data"])
+	}
+	readNS, _ := m["readns"].(int64)
+	return data, time.Duration(readNS), nil
+}
+
+func floatSlice(v any) ([]float64, error) {
+	arr, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("want array, got %T", v)
+	}
+	out := make([]float64, len(arr))
+	for i, e := range arr {
+		switch n := e.(type) {
+		case float64:
+			out[i] = n
+		case int64:
+			out[i] = float64(n)
+		default:
+			return nil, fmt.Errorf("element %d is %T", i, e)
+		}
+	}
+	return out, nil
+}
+
+func int3(v any) ([3]int, error) {
+	arr, ok := v.([]any)
+	if !ok || len(arr) != 3 {
+		return [3]int{}, fmt.Errorf("want 3-array, got %T", v)
+	}
+	var out [3]int
+	for i, e := range arr {
+		n, ok := e.(int64)
+		if !ok {
+			return out, fmt.Errorf("element %d is %T", i, e)
+		}
+		out[i] = int(n)
+	}
+	return out, nil
+}
+
+func float3(v any) ([3]float64, error) {
+	arr, ok := v.([]any)
+	if !ok || len(arr) != 3 {
+		return [3]float64{}, fmt.Errorf("want 3-array, got %T", v)
+	}
+	var out [3]float64
+	for i, e := range arr {
+		switch n := e.(type) {
+		case float64:
+			out[i] = n
+		case int64:
+			out[i] = float64(n)
+		default:
+			return out, fmt.Errorf("element %d is %T", i, e)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,359 @@
+// Package core implements the paper's contribution: splitting a VTK
+// contour filter into a pre-filter that runs near the data (on the
+// storage node) and a post-filter that completes contour generation on
+// the client.
+//
+// The pre-filter scans a data array, selects the mesh points the
+// downstream contour needs (every corner of every cell whose values
+// straddle an isovalue — see internal/contour), and encodes that sparse
+// subset as a compact payload. The post-filter reconstructs a full-size
+// array with NaN sentinels at unselected points and runs the ordinary
+// contour filter, producing bit-identical output to a full-array run.
+//
+// Two payload encodings are provided (an ablation in DESIGN.md):
+//
+//   - index/value: varint-delta-coded point indices followed by values;
+//     compact at very low selectivity;
+//   - block bitmap: per-4096-point blocks with a presence bitmap and
+//     packed values; wins as selectivity grows because indices amortize
+//     to one bit per point.
+//
+// An Auto mode picks per payload using the measured selectivity.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"vizndp/internal/bitset"
+)
+
+// Encoding selects the sparse payload wire format.
+type Encoding uint8
+
+// Payload encodings.
+const (
+	// EncAuto picks index/value or block bitmap from the selection density.
+	EncAuto Encoding = iota
+	// EncIndexValue stores varint index deltas plus packed values.
+	EncIndexValue
+	// EncBlockBitmap stores per-block presence bitmaps plus packed values.
+	EncBlockBitmap
+)
+
+// String names the encoding for flags and reports.
+func (e Encoding) String() string {
+	switch e {
+	case EncAuto:
+		return "auto"
+	case EncIndexValue:
+		return "indexvalue"
+	case EncBlockBitmap:
+		return "blockbitmap"
+	default:
+		return fmt.Sprintf("encoding(%d)", uint8(e))
+	}
+}
+
+// ParseEncoding converts a name produced by String back to an Encoding.
+func ParseEncoding(s string) (Encoding, error) {
+	switch s {
+	case "auto", "":
+		return EncAuto, nil
+	case "indexvalue":
+		return EncIndexValue, nil
+	case "blockbitmap":
+		return EncBlockBitmap, nil
+	default:
+		return EncAuto, fmt.Errorf("core: unknown encoding %q", s)
+	}
+}
+
+// blockBits is the block size of the bitmap encoding, in points.
+const blockBits = 4096
+
+// payloadMagic begins every payload.
+const payloadMagic = 0xD5
+
+// ErrBadPayload reports a corrupt or truncated payload.
+var ErrBadPayload = errors.New("core: bad payload")
+
+// Payload is the encoded sparse subarray shipped from pre-filter to
+// post-filter.
+type Payload struct {
+	// Encoding is the wire format actually used (never EncAuto).
+	Encoding Encoding
+	// NumPoints is the full array length the payload reconstructs to.
+	NumPoints int
+	// Count is the number of selected points.
+	Count int
+	// Data is the wire bytes, including the header.
+	Data []byte
+}
+
+// WireSize returns the payload's transfer size in bytes.
+func (p *Payload) WireSize() int { return len(p.Data) }
+
+// Selectivity returns Count/NumPoints.
+func (p *Payload) Selectivity() float64 {
+	if p.NumPoints == 0 {
+		return 0
+	}
+	return float64(p.Count) / float64(p.NumPoints)
+}
+
+// EncodeSelection packs the selected values into a payload. The mask
+// length must equal len(values).
+func EncodeSelection(mask *bitset.Bitset, values []float32, enc Encoding) (*Payload, error) {
+	if mask.Len() != len(values) {
+		return nil, fmt.Errorf("core: mask of %d bits for %d values", mask.Len(), len(values))
+	}
+	count := mask.Count()
+	var body []byte
+	switch enc {
+	case EncIndexValue:
+		body = encodeIndexValue(mask, values, count)
+	case EncBlockBitmap:
+		body = encodeBlockBitmap(mask, values)
+	case EncAuto:
+		// Both encodings cost O(selected points) to build, which is tiny
+		// at contour selectivities, so pick by exact size rather than a
+		// density heuristic (clustered selections make block bitmaps win
+		// far below the naive break-even density).
+		iv := encodeIndexValue(mask, values, count)
+		bb := encodeBlockBitmap(mask, values)
+		if len(bb) < len(iv) {
+			enc, body = EncBlockBitmap, bb
+		} else {
+			enc, body = EncIndexValue, iv
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown encoding %d", enc)
+	}
+
+	hdr := make([]byte, 0, 2+2*binary.MaxVarintLen64)
+	hdr = append(hdr, payloadMagic, byte(enc))
+	hdr = binary.AppendUvarint(hdr, uint64(mask.Len()))
+	hdr = binary.AppendUvarint(hdr, uint64(count))
+	return &Payload{
+		Encoding:  enc,
+		NumPoints: mask.Len(),
+		Count:     count,
+		Data:      append(hdr, body...),
+	}, nil
+}
+
+func encodeIndexValue(mask *bitset.Bitset, values []float32, count int) []byte {
+	// Indices as deltas (first index is a delta from -1, so every delta
+	// is >= 1 and zero never appears).
+	out := make([]byte, 0, count*5+count*4)
+	prev := -1
+	mask.ForEach(func(i int) {
+		out = binary.AppendUvarint(out, uint64(i-prev))
+		prev = i
+	})
+	mask.ForEach(func(i int) {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(values[i]))
+	})
+	return out
+}
+
+func encodeBlockBitmap(mask *bitset.Bitset, values []float32) []byte {
+	n := mask.Len()
+	numBlocks := (n + blockBits - 1) / blockBits
+	var out []byte
+	prevBlock := -1
+	for b := 0; b < numBlocks; b++ {
+		lo := b * blockBits
+		hi := lo + blockBits
+		if hi > n {
+			hi = n
+		}
+		// Skip empty blocks cheaply via the word view.
+		if blockEmpty(mask, lo, hi) {
+			continue
+		}
+		out = binary.AppendUvarint(out, uint64(b-prevBlock))
+		prevBlock = b
+		// Presence bitmap for the block.
+		nbytes := (hi - lo + 7) / 8
+		bmStart := len(out)
+		out = append(out, make([]byte, nbytes)...)
+		var vals []byte
+		for i := lo; i < hi; i++ {
+			if mask.Get(i) {
+				rel := i - lo
+				out[bmStart+rel/8] |= 1 << (rel % 8)
+				vals = binary.LittleEndian.AppendUint32(vals, math.Float32bits(values[i]))
+			}
+		}
+		out = append(out, vals...)
+	}
+	return out
+}
+
+func blockEmpty(mask *bitset.Bitset, lo, hi int) bool {
+	words := mask.Words()
+	// lo is always 64-aligned because blockBits is a multiple of 64.
+	w0 := lo >> 6
+	w1 := (hi + 63) >> 6
+	for w := w0; w < w1 && w < len(words); w++ {
+		if words[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DecodePayload parses wire bytes back into a payload header, validating
+// the magic and bounds. The heavy lifting happens in Reconstruct.
+func DecodePayload(data []byte) (*Payload, error) {
+	if len(data) < 4 || data[0] != payloadMagic {
+		return nil, fmt.Errorf("%w: missing magic", ErrBadPayload)
+	}
+	enc := Encoding(data[1])
+	if enc != EncIndexValue && enc != EncBlockBitmap {
+		return nil, fmt.Errorf("%w: unknown encoding %d", ErrBadPayload, data[1])
+	}
+	rest := data[2:]
+	numPoints, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad point count", ErrBadPayload)
+	}
+	rest = rest[k:]
+	count, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad selection count", ErrBadPayload)
+	}
+	if count > numPoints || numPoints > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: count %d of %d points", ErrBadPayload, count, numPoints)
+	}
+	return &Payload{
+		Encoding:  enc,
+		NumPoints: int(numPoints),
+		Count:     int(count),
+		Data:      data,
+	}, nil
+}
+
+// Reconstruct expands the payload into a full-length array with NaN at
+// every unselected point — the exact input the post-filter contour runs
+// on.
+func (p *Payload) Reconstruct() ([]float32, error) {
+	out := make([]float32, p.NumPoints)
+	fillNaN(out)
+	if err := p.ReconstructInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// fillNaN sets every element to NaN using copy doubling, which runs at
+// memmove speed rather than one store per element.
+func fillNaN(out []float32) {
+	if len(out) == 0 {
+		return
+	}
+	nan := float32(math.NaN())
+	out[0] = nan
+	for filled := 1; filled < len(out); filled *= 2 {
+		copy(out[filled:], out[:filled])
+	}
+}
+
+// ReconstructInto writes selected values into dst, which must already be
+// NaN-filled (or otherwise pre-initialized) and of length NumPoints.
+func (p *Payload) ReconstructInto(dst []float32) error {
+	if len(dst) != p.NumPoints {
+		return fmt.Errorf("core: dst of %d values, payload has %d points",
+			len(dst), p.NumPoints)
+	}
+	// Skip the header: magic, encoding, two varints.
+	rest := p.Data[2:]
+	_, k := binary.Uvarint(rest)
+	rest = rest[k:]
+	_, k = binary.Uvarint(rest)
+	rest = rest[k:]
+
+	switch p.Encoding {
+	case EncIndexValue:
+		return decodeIndexValue(rest, dst, p.Count)
+	case EncBlockBitmap:
+		return decodeBlockBitmap(rest, dst, p.Count)
+	default:
+		return fmt.Errorf("%w: unknown encoding %d", ErrBadPayload, p.Encoding)
+	}
+}
+
+func decodeIndexValue(body []byte, dst []float32, count int) error {
+	idxs := make([]int, count)
+	pos := -1
+	off := 0
+	for i := 0; i < count; i++ {
+		d, k := binary.Uvarint(body[off:])
+		if k <= 0 || d == 0 {
+			return fmt.Errorf("%w: bad index delta at %d", ErrBadPayload, i)
+		}
+		off += k
+		pos += int(d)
+		if pos >= len(dst) {
+			return fmt.Errorf("%w: index %d beyond %d points", ErrBadPayload, pos, len(dst))
+		}
+		idxs[i] = pos
+	}
+	if len(body)-off != count*4 {
+		return fmt.Errorf("%w: %d value bytes, want %d", ErrBadPayload, len(body)-off, count*4)
+	}
+	for i, idx := range idxs {
+		bits := binary.LittleEndian.Uint32(body[off+i*4:])
+		dst[idx] = math.Float32frombits(bits)
+	}
+	return nil
+}
+
+func decodeBlockBitmap(body []byte, dst []float32, count int) error {
+	n := len(dst)
+	numBlocks := (n + blockBits - 1) / blockBits
+	off := 0
+	block := -1
+	seen := 0
+	for off < len(body) {
+		d, k := binary.Uvarint(body[off:])
+		if k <= 0 || d == 0 {
+			return fmt.Errorf("%w: bad block delta", ErrBadPayload)
+		}
+		off += k
+		block += int(d)
+		if block >= numBlocks {
+			return fmt.Errorf("%w: block %d of %d", ErrBadPayload, block, numBlocks)
+		}
+		lo := block * blockBits
+		hi := lo + blockBits
+		if hi > n {
+			hi = n
+		}
+		nbytes := (hi - lo + 7) / 8
+		if off+nbytes > len(body) {
+			return fmt.Errorf("%w: truncated bitmap", ErrBadPayload)
+		}
+		bm := body[off : off+nbytes]
+		off += nbytes
+		for rel := 0; rel < hi-lo; rel++ {
+			if bm[rel/8]&(1<<(rel%8)) == 0 {
+				continue
+			}
+			if off+4 > len(body) {
+				return fmt.Errorf("%w: truncated values", ErrBadPayload)
+			}
+			dst[lo+rel] = math.Float32frombits(binary.LittleEndian.Uint32(body[off:]))
+			off += 4
+			seen++
+		}
+	}
+	if seen != count {
+		return fmt.Errorf("%w: decoded %d values, header says %d", ErrBadPayload, seen, count)
+	}
+	return nil
+}

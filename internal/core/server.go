@@ -1,0 +1,354 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"io/fs"
+	"net"
+	"time"
+
+	"vizndp/internal/contour"
+	"vizndp/internal/rpc"
+	"vizndp/internal/vtkio"
+)
+
+// RPC method names exposed by the NDP server.
+const (
+	MethodList       = "ndp.list"
+	MethodDescribe   = "ndp.describe"
+	MethodFetch      = "ndp.fetch"
+	MethodFetchRange = "ndp.fetchrange"
+	MethodFetchSlice = "ndp.fetchslice"
+	MethodFetchRaw   = "ndp.fetchraw"
+)
+
+// Server is the storage-side NDP service: a partial pipeline consisting
+// of a source (reading dataset files through the given filesystem, which
+// on the storage node is an s3fs mount colocated with the object store)
+// and a pre-filter. Clients drive it over msgpack-rpc.
+type Server struct {
+	fsys fs.FS
+	rpc  *rpc.Server
+}
+
+// NewServer builds an NDP server over the given filesystem.
+func NewServer(fsys fs.FS) *Server {
+	s := &Server{fsys: fsys, rpc: rpc.NewServer()}
+	s.rpc.Register(MethodList, s.handleList)
+	s.rpc.Register(MethodDescribe, s.handleDescribe)
+	s.rpc.Register(MethodFetch, s.handleFetch)
+	s.rpc.Register(MethodFetchRange, s.handleFetchRange)
+	s.rpc.Register(MethodFetchSlice, s.handleFetchSlice)
+	s.rpc.Register(MethodFetchRaw, s.handleFetchRaw)
+	return s
+}
+
+// Serve accepts NDP connections from ln until closed.
+func (s *Server) Serve(ln net.Listener) error { return s.rpc.Serve(ln) }
+
+// Close shuts the server down.
+func (s *Server) Close() { s.rpc.Close() }
+
+func argString(args []any, i int, what string) (string, error) {
+	if i >= len(args) {
+		return "", fmt.Errorf("core: missing %s argument", what)
+	}
+	v, ok := args[i].(string)
+	if !ok {
+		return "", fmt.Errorf("core: %s argument is %T, want string", what, args[i])
+	}
+	return v, nil
+}
+
+func (s *Server) handleList(_ context.Context, args []any) (any, error) {
+	dir, err := argString(args, 0, "dir")
+	if err != nil {
+		return nil, err
+	}
+	entries, err := fs.ReadDir(s.fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			name += "/"
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// openReader opens a dataset file for selective reads.
+func (s *Server) openReader(path string) (*vtkio.Reader, io.Closer, error) {
+	f, err := s.fsys.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	ra, ok := f.(io.ReaderAt)
+	if !ok {
+		f.Close()
+		return nil, nil, fmt.Errorf("core: %s does not support random access", path)
+	}
+	r, err := vtkio.OpenReader(ra)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+func (s *Server) handleDescribe(_ context.Context, args []any) (any, error) {
+	path, err := argString(args, 0, "path")
+	if err != nil {
+		return nil, err
+	}
+	r, closer, err := s.openReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	h := r.Header()
+	arrays := make([]any, 0, len(h.Arrays))
+	for _, a := range h.Arrays {
+		arrays = append(arrays, map[string]any{
+			"name":  a.Name,
+			"codec": a.Codec,
+			"comp":  a.CompressedSize(),
+			"raw":   a.RawSize(),
+		})
+	}
+	out := map[string]any{
+		"dims":    []any{int64(h.Dims[0]), int64(h.Dims[1]), int64(h.Dims[2])},
+		"origin":  []any{h.Origin[0], h.Origin[1], h.Origin[2]},
+		"spacing": []any{h.Spacing[0], h.Spacing[1], h.Spacing[2]},
+		"arrays":  arrays,
+	}
+	// Rectilinear files ship their (small) per-axis coordinate arrays so
+	// the client can contour with the true geometry; payload fetches are
+	// unaffected, being purely topological.
+	if rect := h.RectGrid(); rect != nil {
+		out["coordsX"] = floatsToAny(rect.X)
+		out["coordsY"] = floatsToAny(rect.Y)
+		out["coordsZ"] = floatsToAny(rect.Z)
+	}
+	return out, nil
+}
+
+func floatsToAny(v []float64) []any {
+	out := make([]any, len(v))
+	for i, f := range v {
+		out[i] = f
+	}
+	return out
+}
+
+// handleFetch runs the storage-side partial pipeline: read the array
+// (decompressing if stored compressed), run the pre-filter, and return
+// the encoded payload together with timing breakdowns.
+func (s *Server) handleFetch(_ context.Context, args []any) (any, error) {
+	path, err := argString(args, 0, "path")
+	if err != nil {
+		return nil, err
+	}
+	array, err := argString(args, 1, "array")
+	if err != nil {
+		return nil, err
+	}
+	if len(args) < 3 {
+		return nil, fmt.Errorf("core: missing isovalues argument")
+	}
+	rawIsos, ok := args[2].([]any)
+	if !ok {
+		return nil, fmt.Errorf("core: isovalues argument is %T, want array", args[2])
+	}
+	isovalues := make([]float64, len(rawIsos))
+	for i, v := range rawIsos {
+		f, ok := v.(float64)
+		if !ok {
+			return nil, fmt.Errorf("core: isovalue %d is %T, want float64", i, v)
+		}
+		isovalues[i] = f
+	}
+	encName := ""
+	if len(args) > 3 {
+		if encName, err = argString(args, 3, "encoding"); err != nil {
+			return nil, err
+		}
+	}
+	enc, err := ParseEncoding(encName)
+	if err != nil {
+		return nil, err
+	}
+
+	readStart := time.Now()
+	r, closer, err := s.openReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	field, err := r.ReadArray(array)
+	if err != nil {
+		return nil, err
+	}
+	readTime := time.Since(readStart)
+
+	pre := &PreFilter{Isovalues: isovalues, Encoding: enc}
+	payload, stats, err := pre.Run(r.Grid(), field)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"payload":  payload.Data,
+		"readns":   int64(readTime),
+		"filterns": int64(stats.FilterTime),
+		"rawbytes": stats.RawBytes,
+		"selected": int64(stats.SelectedPoints),
+	}, nil
+}
+
+// handleFetchRange runs the split threshold filter's storage half: read
+// the array and select every cell corner with a value in [lo, hi].
+func (s *Server) handleFetchRange(_ context.Context, args []any) (any, error) {
+	path, err := argString(args, 0, "path")
+	if err != nil {
+		return nil, err
+	}
+	array, err := argString(args, 1, "array")
+	if err != nil {
+		return nil, err
+	}
+	if len(args) < 4 {
+		return nil, fmt.Errorf("core: fetchrange needs lo and hi arguments")
+	}
+	lo, ok := args[2].(float64)
+	if !ok {
+		return nil, fmt.Errorf("core: lo argument is %T, want float64", args[2])
+	}
+	hi, ok := args[3].(float64)
+	if !ok {
+		return nil, fmt.Errorf("core: hi argument is %T, want float64", args[3])
+	}
+	encName := ""
+	if len(args) > 4 {
+		if encName, err = argString(args, 4, "encoding"); err != nil {
+			return nil, err
+		}
+	}
+	enc, err := ParseEncoding(encName)
+	if err != nil {
+		return nil, err
+	}
+
+	readStart := time.Now()
+	r, closer, err := s.openReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	field, err := r.ReadArray(array)
+	if err != nil {
+		return nil, err
+	}
+	readTime := time.Since(readStart)
+
+	pre := &RangePreFilter{Lo: lo, Hi: hi, Encoding: enc}
+	payload, stats, err := pre.Run(r.Grid(), field)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"payload":  payload.Data,
+		"readns":   int64(readTime),
+		"filterns": int64(stats.FilterTime),
+		"rawbytes": stats.RawBytes,
+		"selected": int64(stats.SelectedPoints),
+	}, nil
+}
+
+// handleFetchSlice runs the split slice filter's storage half: read the
+// array and extract exactly the requested plane, shipping it as a slice
+// payload — the near-perfect-reduction case for NDP.
+func (s *Server) handleFetchSlice(_ context.Context, args []any) (any, error) {
+	path, err := argString(args, 0, "path")
+	if err != nil {
+		return nil, err
+	}
+	array, err := argString(args, 1, "array")
+	if err != nil {
+		return nil, err
+	}
+	axisName, err := argString(args, 2, "axis")
+	if err != nil {
+		return nil, err
+	}
+	axis, err := contour.ParseAxis(axisName)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) < 4 {
+		return nil, fmt.Errorf("core: missing slice index argument")
+	}
+	index64, ok := args[3].(int64)
+	if !ok {
+		return nil, fmt.Errorf("core: slice index is %T, want integer", args[3])
+	}
+
+	readStart := time.Now()
+	r, closer, err := s.openReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	field, err := r.ReadArray(array)
+	if err != nil {
+		return nil, err
+	}
+	readTime := time.Since(readStart)
+
+	filterStart := time.Now()
+	g2, vals, err := contour.ExtractSlice(r.Grid(), field.Values, axis, int(index64))
+	if err != nil {
+		return nil, err
+	}
+	filterTime := time.Since(filterStart)
+
+	return map[string]any{
+		"dims":     []any{int64(g2.Dims.X), int64(g2.Dims.Y), int64(g2.Dims.Z)},
+		"origin":   []any{g2.Origin.X, g2.Origin.Y, g2.Origin.Z},
+		"spacing":  []any{g2.Spacing.X, g2.Spacing.Y, g2.Spacing.Z},
+		"values":   vtkio.FloatsToBytes(vals),
+		"readns":   int64(readTime),
+		"filterns": int64(filterTime),
+		"rawbytes": int64(4 * field.Len()),
+	}, nil
+}
+
+// handleFetchRaw returns a whole array uncut — used for debugging and for
+// measuring what the transfer would have cost without the pre-filter.
+func (s *Server) handleFetchRaw(_ context.Context, args []any) (any, error) {
+	path, err := argString(args, 0, "path")
+	if err != nil {
+		return nil, err
+	}
+	array, err := argString(args, 1, "array")
+	if err != nil {
+		return nil, err
+	}
+	readStart := time.Now()
+	r, closer, err := s.openReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	raw, err := r.ReadArrayBytes(array)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"data":   raw,
+		"readns": int64(time.Since(readStart)),
+	}, nil
+}

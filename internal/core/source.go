@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"vizndp/internal/grid"
+	"vizndp/internal/pipeline"
+)
+
+// NDPSource is a pipeline source that loads data through a remote NDP
+// server instead of reading whole arrays: for each requested array it
+// fetches the pre-filtered payload and reconstructs the NaN-padded field.
+// Downstream stages (the post-filter contour, the renderer) are exactly
+// the same stages a baseline pipeline uses — only the source changes,
+// mirroring Fig. 10 of the paper.
+type NDPSource struct {
+	Client    *Client
+	Path      string
+	Arrays    []string
+	Isovalues []float64
+	Encoding  Encoding
+
+	// Stats holds per-array fetch statistics from the most recent
+	// Execute.
+	Stats map[string]*FetchStats
+}
+
+// Name implements pipeline.Stage; NDPSource reports as the source stage
+// so its elapsed time is the pipeline's data load time.
+func (s *NDPSource) Name() string { return pipeline.SourceStageName }
+
+// Execute fetches and reconstructs the selected arrays.
+func (s *NDPSource) Execute(ctx context.Context, _ any) (any, error) {
+	if s.Client == nil {
+		return nil, fmt.Errorf("core: NDPSource has no client")
+	}
+	if len(s.Arrays) == 0 {
+		return nil, fmt.Errorf("core: NDPSource has no arrays selected")
+	}
+	desc, err := s.Client.Describe(s.Path)
+	if err != nil {
+		return nil, fmt.Errorf("core: describe %s: %w", s.Path, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Fetch all arrays concurrently: the RPC client multiplexes requests
+	// over one connection, so the storage node overlaps its reads and
+	// filtering across arrays while payloads share the link.
+	type result struct {
+		field *grid.Field
+		stats *FetchStats
+		err   error
+	}
+	results := make([]result, len(s.Arrays))
+	var wg sync.WaitGroup
+	for i, array := range s.Arrays {
+		wg.Add(1)
+		go func(i int, array string) {
+			defer wg.Done()
+			payload, stats, err := s.Client.FetchFiltered(s.Path, array, s.Isovalues, s.Encoding)
+			if err != nil {
+				results[i].err = fmt.Errorf("core: fetch %s/%s: %w", s.Path, array, err)
+				return
+			}
+			if payload.NumPoints != desc.Grid.NumPoints() {
+				results[i].err = fmt.Errorf("core: payload for %q has %d points, grid has %d",
+					array, payload.NumPoints, desc.Grid.NumPoints())
+				return
+			}
+			vals := make([]float32, payload.NumPoints)
+			fillNaN(vals)
+			if err := payload.ReconstructInto(vals); err != nil {
+				results[i].err = err
+				return
+			}
+			results[i].field = &grid.Field{Name: array, Values: vals}
+			results[i].stats = stats
+		}(i, array)
+	}
+	wg.Wait()
+
+	ds := grid.NewDataset(desc.Grid)
+	s.Stats = make(map[string]*FetchStats, len(s.Arrays))
+	for i, array := range s.Arrays {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		if err := ds.AddField(results[i].field); err != nil {
+			return nil, err
+		}
+		s.Stats[array] = results[i].stats
+	}
+	return ds, nil
+}
+
+var _ pipeline.Stage = (*NDPSource)(nil)

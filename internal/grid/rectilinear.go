@@ -1,0 +1,100 @@
+package grid
+
+import "fmt"
+
+// Rectilinear is a rectilinear grid with per-axis coordinate arrays:
+// point (i,j,k) sits at (X[i], Y[j], Z[k]). The paper's prototype
+// supports only uniform grids and names more general grid types as
+// future work; this type provides the first step of that extension.
+// Topology (point/cell indexing) is identical to Uniform, so the NDP
+// pre-filter — which is purely topological — works on rectilinear data
+// unchanged; only geometry consumers (contouring, rendering) need the
+// coordinates.
+type Rectilinear struct {
+	X, Y, Z []float64
+}
+
+// NewRectilinear builds a rectilinear grid from coordinate arrays.
+func NewRectilinear(x, y, z []float64) *Rectilinear {
+	return &Rectilinear{X: x, Y: y, Z: z}
+}
+
+// GridDims returns the point counts along each axis.
+func (g *Rectilinear) GridDims() Dims {
+	return Dims{X: len(g.X), Y: len(g.Y), Z: len(g.Z)}
+}
+
+// NumPoints returns the total number of points.
+func (g *Rectilinear) NumPoints() int { return g.GridDims().NumPoints() }
+
+// NumCells returns the total number of cells.
+func (g *Rectilinear) NumCells() int { return g.GridDims().NumCells() }
+
+// PointIndex converts (i,j,k) to a flat index (x-fastest, as Uniform).
+func (g *Rectilinear) PointIndex(i, j, k int) int {
+	return (k*len(g.Y)+j)*len(g.X) + i
+}
+
+// PointPosition returns the world-space position of point (i,j,k).
+func (g *Rectilinear) PointPosition(i, j, k int) Vec3 {
+	return Vec3{X: g.X[i], Y: g.Y[j], Z: g.Z[k]}
+}
+
+// Is2D reports whether the grid has a single point layer in Z.
+func (g *Rectilinear) Is2D() bool { return len(g.Z) == 1 }
+
+// Validate checks dimensions and strict coordinate monotonicity.
+func (g *Rectilinear) Validate() error {
+	if !g.GridDims().Valid() {
+		return fmt.Errorf("grid: invalid rectilinear dims %v", g.GridDims())
+	}
+	for _, ax := range []struct {
+		name   string
+		coords []float64
+	}{{"x", g.X}, {"y", g.Y}, {"z", g.Z}} {
+		for i := 1; i < len(ax.coords); i++ {
+			if ax.coords[i] <= ax.coords[i-1] {
+				return fmt.Errorf("grid: %s coordinates not strictly increasing at %d (%v <= %v)",
+					ax.name, i, ax.coords[i], ax.coords[i-1])
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (g *Rectilinear) Clone() *Rectilinear {
+	cp := &Rectilinear{
+		X: make([]float64, len(g.X)),
+		Y: make([]float64, len(g.Y)),
+		Z: make([]float64, len(g.Z)),
+	}
+	copy(cp.X, g.X)
+	copy(cp.Y, g.Y)
+	copy(cp.Z, g.Z)
+	return cp
+}
+
+// GridDims returns the point counts of the uniform grid; with
+// PointPosition it satisfies the same geometry interface as
+// Rectilinear (the Dims field occupies the plain name).
+func (g *Uniform) GridDims() Dims { return g.Dims }
+
+// ToRectilinear converts a uniform grid to explicit coordinate arrays.
+func (g *Uniform) ToRectilinear() *Rectilinear {
+	r := &Rectilinear{
+		X: make([]float64, g.Dims.X),
+		Y: make([]float64, g.Dims.Y),
+		Z: make([]float64, g.Dims.Z),
+	}
+	for i := range r.X {
+		r.X[i] = g.Origin.X + float64(i)*g.Spacing.X
+	}
+	for j := range r.Y {
+		r.Y[j] = g.Origin.Y + float64(j)*g.Spacing.Y
+	}
+	for k := range r.Z {
+		r.Z[k] = g.Origin.Z + float64(k)*g.Spacing.Z
+	}
+	return r
+}

@@ -1,0 +1,81 @@
+package grid
+
+import (
+	"testing"
+)
+
+func TestRectilinearBasics(t *testing.T) {
+	g := NewRectilinear(
+		[]float64{0, 1, 3, 7},
+		[]float64{0, 2, 4},
+		[]float64{5, 6},
+	)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.GridDims(); d != (Dims{4, 3, 2}) {
+		t.Errorf("dims = %v", d)
+	}
+	if g.NumPoints() != 24 || g.NumCells() != 3*2*1 {
+		t.Errorf("points=%d cells=%d", g.NumPoints(), g.NumCells())
+	}
+	if g.Is2D() {
+		t.Error("3D grid reported 2D")
+	}
+	p := g.PointPosition(2, 1, 1)
+	if p != (Vec3{3, 2, 6}) {
+		t.Errorf("position = %+v", p)
+	}
+	if g.PointIndex(1, 2, 1) != (1*3+2)*4+1 {
+		t.Errorf("PointIndex = %d", g.PointIndex(1, 2, 1))
+	}
+}
+
+func TestRectilinearValidate(t *testing.T) {
+	bad := NewRectilinear([]float64{0, 1, 1}, []float64{0, 1}, []float64{0, 1})
+	if err := bad.Validate(); err == nil {
+		t.Error("non-increasing x accepted")
+	}
+	bad = NewRectilinear([]float64{0, 1}, []float64{2, 1}, []float64{0, 1})
+	if err := bad.Validate(); err == nil {
+		t.Error("decreasing y accepted")
+	}
+	bad = NewRectilinear(nil, []float64{0}, []float64{0})
+	if err := bad.Validate(); err == nil {
+		t.Error("empty axis accepted")
+	}
+}
+
+func TestRectilinearClone(t *testing.T) {
+	g := NewRectilinear([]float64{0, 1}, []float64{0, 1}, []float64{0, 1})
+	c := g.Clone()
+	c.X[0] = 99
+	if g.X[0] == 99 {
+		t.Error("clone aliased coordinates")
+	}
+}
+
+func TestUniformToRectilinear(t *testing.T) {
+	u := NewUniform(4, 3, 2)
+	u.Origin = Vec3{1, 2, 3}
+	u.Spacing = Vec3{0.5, 1, 2}
+	r := u.ToRectilinear()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.GridDims() != u.GridDims() {
+		t.Errorf("dims differ: %v vs %v", r.GridDims(), u.GridDims())
+	}
+	for k := 0; k < 2; k++ {
+		for j := 0; j < 3; j++ {
+			for i := 0; i < 4; i++ {
+				if r.PointPosition(i, j, k) != u.PointPosition(i, j, k) {
+					t.Fatalf("position (%d,%d,%d) differs", i, j, k)
+				}
+				if r.PointIndex(i, j, k) != u.PointIndex(i, j, k) {
+					t.Fatalf("index (%d,%d,%d) differs", i, j, k)
+				}
+			}
+		}
+	}
+}

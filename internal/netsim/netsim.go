@@ -1,0 +1,220 @@
+// Package netsim emulates the network link between the storage node and
+// the client node. The paper's testbed connects the two machines with
+// 1 Gb Ethernet; this reproduction runs on one machine, so all traffic —
+// object-store HTTP in the baseline setup, pre-/post-filter RPC in the
+// NDP setup — is routed through Link-shaped connections that pace bytes
+// at a configurable bandwidth and charge a connection-setup latency.
+//
+// A single Link can be shared by many connections, which then contend for
+// the same capacity exactly as flows on one wire do. Links also count the
+// bytes they carry, giving the harness the "network traffic volume"
+// numbers the paper reports.
+package netsim
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Common link presets. Bandwidth values are in bits per second to match
+// how links are usually named.
+const (
+	Mbps = 1e6
+	Gbps = 1e9
+)
+
+// Link models a shared network link with finite bandwidth and a fixed
+// one-way latency. The zero value is an unlimited, zero-latency link.
+type Link struct {
+	bytesPerSec float64
+	latency     time.Duration
+
+	mu       sync.Mutex
+	nextFree time.Time
+
+	sent atomic.Int64
+	recv atomic.Int64
+}
+
+// NewLink returns a link with the given capacity in bits per second
+// (use the Mbps/Gbps constants) and one-way latency. A non-positive
+// bandwidth means unlimited.
+func NewLink(bitsPerSec float64, latency time.Duration) *Link {
+	return &Link{bytesPerSec: bitsPerSec / 8, latency: latency}
+}
+
+// GigabitEthernet returns the paper's testbed link: 1 Gb/s with a typical
+// LAN latency.
+func GigabitEthernet() *Link {
+	return NewLink(1*Gbps, 100*time.Microsecond)
+}
+
+// Unlimited returns a link that shapes nothing but still counts bytes.
+func Unlimited() *Link { return &Link{} }
+
+// BytesSent returns the total bytes written through the link.
+func (l *Link) BytesSent() int64 { return l.sent.Load() }
+
+// BytesReceived returns the total bytes read through the link.
+func (l *Link) BytesReceived() int64 { return l.recv.Load() }
+
+// ResetCounters zeroes the byte counters.
+func (l *Link) ResetCounters() {
+	l.sent.Store(0)
+	l.recv.Store(0)
+}
+
+// Latency returns the link's one-way latency.
+func (l *Link) Latency() time.Duration { return l.latency }
+
+// BitsPerSec returns the configured capacity, or 0 for unlimited.
+func (l *Link) BitsPerSec() float64 { return l.bytesPerSec * 8 }
+
+// TransferTime returns the ideal serialized transfer time for n bytes,
+// ignoring contention. Used by the analytic cost model.
+func (l *Link) TransferTime(n int64) time.Duration {
+	if l.bytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / l.bytesPerSec * float64(time.Second))
+}
+
+// reserve books n bytes of capacity and returns the deadline at which
+// the bytes have "arrived" (the zero time when no wait is needed).
+// Shared across all connections on the link, so concurrent flows divide
+// the capacity.
+func (l *Link) reserve(n int) time.Time {
+	if l.bytesPerSec <= 0 {
+		return time.Time{}
+	}
+	tx := time.Duration(float64(n) / l.bytesPerSec * float64(time.Second))
+	l.mu.Lock()
+	now := time.Now()
+	start := l.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	end := start.Add(tx)
+	l.nextFree = end
+	l.mu.Unlock()
+	return end
+}
+
+// maxBurst keeps individual reservations small so concurrent flows
+// interleave rather than one flow monopolizing the wire.
+const maxBurst = 64 * 1024
+
+// minSleep is the smallest pacing debt worth sleeping for. The OS timer
+// overshoots sleeps by up to ~1ms, so paying it for sub-millisecond
+// debts would inflate transfer times far beyond the modelled link; small
+// debts accumulate in the link's nextFree horizon instead and are repaid
+// on a later chunk.
+const minSleep = 2 * time.Millisecond
+
+// sleepUntil sleeps to a deadline with reduced overshoot: a coarse sleep
+// to within a millisecond, then yield-spinning for the remainder.
+func sleepUntil(deadline time.Time) {
+	for {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return
+		}
+		if d > 2*time.Millisecond {
+			time.Sleep(d - 2*time.Millisecond)
+			continue
+		}
+		// Yield-spin the final stretch: the OS timer overshoots by up to
+		// a millisecond, which would accumulate across a transfer's many
+		// pacing points.
+		runtime.Gosched()
+	}
+}
+
+// Conn wraps c so that all writes are paced by the link. Reads are left
+// unshaped: the peer's writes already paid for the bytes, and shaping
+// both sides would double-charge every transfer. Consequently both
+// endpoints of a connection should be wrapped (listener side and dialer
+// side) so that each direction's traffic is paced exactly once, by its
+// sender.
+func (l *Link) Conn(c net.Conn) net.Conn {
+	return &shapedConn{Conn: c, link: l}
+}
+
+type shapedConn struct {
+	net.Conn
+	link *Link
+}
+
+func (s *shapedConn) Write(b []byte) (int, error) {
+	total := 0
+	for len(b) > 0 {
+		chunk := b
+		if len(chunk) > maxBurst {
+			chunk = chunk[:maxBurst]
+		}
+		// Only pay the OS timer when the accumulated pacing debt is
+		// large enough to be worth it; the link's horizon carries small
+		// debts forward, so long-run throughput stays exact.
+		if deadline := s.link.reserve(len(chunk)); !deadline.IsZero() {
+			if time.Until(deadline) >= minSleep {
+				sleepUntil(deadline)
+			}
+		}
+		n, err := s.Conn.Write(chunk)
+		total += n
+		s.link.sent.Add(int64(n))
+		if err != nil {
+			return total, err
+		}
+		b = b[n:]
+	}
+	return total, nil
+}
+
+func (s *shapedConn) Read(b []byte) (int, error) {
+	n, err := s.Conn.Read(b)
+	s.link.recv.Add(int64(n))
+	return n, err
+}
+
+// Listener wraps ln so every accepted connection is shaped by the link.
+func (l *Link) Listener(ln net.Listener) net.Listener {
+	return &shapedListener{Listener: ln, link: l}
+}
+
+type shapedListener struct {
+	net.Listener
+	link *Link
+}
+
+func (s *shapedListener) Accept() (net.Conn, error) {
+	c, err := s.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return s.link.Conn(c), nil
+}
+
+// Dial connects to addr over TCP, charges the connection-setup latency,
+// and returns a shaped connection.
+func (l *Link) Dial(network, addr string) (net.Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	if l.latency > 0 {
+		time.Sleep(l.latency)
+	}
+	return l.Conn(c), nil
+}
+
+// Pipe returns an in-memory connection pair whose client->server and
+// server->client directions are both shaped by the link. Useful for
+// tests that avoid real sockets.
+func (l *Link) Pipe() (client, server net.Conn) {
+	c, s := net.Pipe()
+	return l.Conn(c), l.Conn(s)
+}

@@ -1,0 +1,237 @@
+package objstore
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// ErrNotFound is returned for missing objects.
+var ErrNotFound = errors.New("objstore: object not found")
+
+// Client talks to an object-store server over HTTP. Its transport can be
+// routed through a netsim.Link dialer so all traffic is bandwidth-shaped.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at addr (host:port). If
+// dialFn is non-nil all connections are made through it — pass a
+// netsim.Link's Dial to emulate the testbed's 1 GbE link.
+func NewClient(addr string, dialFn func(network, addr string) (net.Conn, error)) *Client {
+	transport := &http.Transport{
+		MaxIdleConns:        16,
+		MaxIdleConnsPerHost: 16,
+	}
+	if dialFn != nil {
+		transport.DialContext = func(_ context.Context, network, a string) (net.Conn, error) {
+			return dialFn(network, a)
+		}
+	}
+	return &Client{
+		base: "http://" + addr,
+		http: &http.Client{Transport: transport},
+	}
+}
+
+func (c *Client) objectURL(bucket, key string) string {
+	return c.base + "/" + url.PathEscape(bucket) + "/" + escapeKey(key)
+}
+
+// escapeKey escapes each key segment but keeps the slashes.
+func escapeKey(key string) string {
+	out := ""
+	for i, seg := range bytes.Split([]byte(key), []byte("/")) {
+		if i > 0 {
+			out += "/"
+		}
+		out += url.PathEscape(string(seg))
+	}
+	return out
+}
+
+func classify(resp *http.Response) error {
+	if resp.StatusCode == http.StatusNotFound {
+		return ErrNotFound
+	}
+	if resp.StatusCode >= 300 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("objstore: http %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// Put stores data under bucket/key.
+func (c *Client) Put(bucket, key string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, c.objectURL(bucket, key),
+		bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.ContentLength = int64(len(data))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	return classify(resp)
+}
+
+// PutFrom streams size bytes from r into bucket/key.
+func (c *Client) PutFrom(bucket, key string, r io.Reader, size int64) error {
+	req, err := http.NewRequest(http.MethodPut, c.objectURL(bucket, key), r)
+	if err != nil {
+		return err
+	}
+	req.ContentLength = size
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	return classify(resp)
+}
+
+// Get fetches the whole object.
+func (c *Client) Get(bucket, key string) ([]byte, error) {
+	resp, err := c.http.Get(c.objectURL(bucket, key))
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if err := classify(resp); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// GetRange fetches n bytes at offset off.
+func (c *Client) GetRange(bucket, key string, off, n int64) ([]byte, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	req, err := http.NewRequest(http.MethodGet, c.objectURL(bucket, key), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+n-1))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if err := classify(resp); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusPartialContent {
+		return nil, fmt.Errorf("objstore: server ignored range request (status %d)",
+			resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Stat returns the object's size.
+func (c *Client) Stat(bucket, key string) (int64, error) {
+	resp, err := c.http.Head(c.objectURL(bucket, key))
+	if err != nil {
+		return 0, err
+	}
+	defer drain(resp)
+	if err := classify(resp); err != nil {
+		return 0, err
+	}
+	if resp.ContentLength >= 0 {
+		return resp.ContentLength, nil
+	}
+	v := resp.Header.Get("Content-Length")
+	return strconv.ParseInt(v, 10, 64)
+}
+
+// List returns objects in the bucket with the given key prefix, sorted.
+func (c *Client) List(bucket, prefix string) ([]ObjectInfo, error) {
+	u := c.base + "/" + url.PathEscape(bucket) + "?list=1&prefix=" + url.QueryEscape(prefix)
+	resp, err := c.http.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if err := classify(resp); err != nil {
+		return nil, err
+	}
+	var out []ObjectInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("objstore: parsing listing: %w", err)
+	}
+	return out, nil
+}
+
+// Delete removes an object.
+func (c *Client) Delete(bucket, key string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.objectURL(bucket, key), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	return classify(resp)
+}
+
+// drain consumes and closes the body so connections are reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// ObjectReaderAt adapts one object to io.ReaderAt via ranged GETs. Size
+// must be the object's size (from Stat).
+type ObjectReaderAt struct {
+	Client *Client
+	Bucket string
+	Key    string
+	Size   int64
+}
+
+// NewObjectReaderAt stats the object and returns a ReaderAt over it.
+func NewObjectReaderAt(c *Client, bucket, key string) (*ObjectReaderAt, error) {
+	size, err := c.Stat(bucket, key)
+	if err != nil {
+		return nil, err
+	}
+	return &ObjectReaderAt{Client: c, Bucket: bucket, Key: key, Size: size}, nil
+}
+
+// ReadAt implements io.ReaderAt over the object.
+func (o *ObjectReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= o.Size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	short := false
+	if off+n > o.Size {
+		n = o.Size - off
+		short = true
+	}
+	data, err := o.Client.GetRange(o.Bucket, o.Key, off, n)
+	if err != nil {
+		return 0, err
+	}
+	copied := copy(p, data)
+	if int64(copied) < n {
+		return copied, io.ErrUnexpectedEOF
+	}
+	if short {
+		return copied, io.EOF
+	}
+	return copied, nil
+}

@@ -1,0 +1,384 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vizndp/internal/netsim"
+)
+
+// startStore spins up a server over httptest and returns a client.
+func startStore(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	s, err := NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	addr := ts.Listener.Addr().String()
+	return NewClient(addr, nil), s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, _ := startStore(t)
+	data := []byte("timestep payload")
+	if err := c.Put("sim", "ts0.vnd", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("sim", "ts0.vnd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	c, _ := startStore(t)
+	if err := c.Put("b", "k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("b", "k", []byte("v2-longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("b", "k")
+	if err != nil || string(got) != "v2-longer" {
+		t.Errorf("got %q, %v", got, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	c, _ := startStore(t)
+	if _, err := c.Get("b", "missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := c.Stat("b", "missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Stat err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestNestedKeys(t *testing.T) {
+	c, _ := startStore(t)
+	if err := c.Put("sim", "run1/ts0/data.vnd", []byte("nested")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("sim", "run1/ts0/data.vnd")
+	if err != nil || string(got) != "nested" {
+		t.Errorf("got %q, %v", got, err)
+	}
+}
+
+func TestStat(t *testing.T) {
+	c, _ := startStore(t)
+	data := make([]byte, 12345)
+	if err := c.Put("b", "k", data); err != nil {
+		t.Fatal(err)
+	}
+	size, err := c.Stat("b", "k")
+	if err != nil || size != 12345 {
+		t.Errorf("Stat = %d, %v", size, err)
+	}
+}
+
+func TestGetRange(t *testing.T) {
+	c, _ := startStore(t)
+	data := make([]byte, 10_000)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := c.Put("b", "k", data); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ off, n int64 }{
+		{0, 1}, {0, 100}, {5000, 2000}, {9999, 1}, {0, 10_000},
+	}
+	for _, cse := range cases {
+		got, err := c.GetRange("b", "k", cse.off, cse.n)
+		if err != nil {
+			t.Fatalf("range %d+%d: %v", cse.off, cse.n, err)
+		}
+		if !bytes.Equal(got, data[cse.off:cse.off+cse.n]) {
+			t.Errorf("range %d+%d mismatch", cse.off, cse.n)
+		}
+	}
+	if got, err := c.GetRange("b", "k", 0, 0); err != nil || len(got) != 0 {
+		t.Errorf("zero range = %v, %v", got, err)
+	}
+}
+
+func TestList(t *testing.T) {
+	c, _ := startStore(t)
+	keys := []string{"ts0/v02", "ts0/v03", "ts1/v02", "other"}
+	for _, k := range keys {
+		if err := c.Put("sim", k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := c.List("sim", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("List all = %d entries", len(all))
+	}
+	if all[0].Key != "other" {
+		t.Errorf("listing not sorted: %v", all)
+	}
+	ts0, err := c.List("sim", "ts0/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts0) != 2 || ts0[0].Key != "ts0/v02" || ts0[0].Size != int64(len("ts0/v02")) {
+		t.Errorf("prefix listing = %+v", ts0)
+	}
+	empty, err := c.List("nope", "")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty bucket listing = %v, %v", empty, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c, _ := startStore(t)
+	if err := c.Put("b", "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("b", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("b", "k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("after delete: %v", err)
+	}
+	if err := c.Delete("b", "k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestPathTraversalRejected(t *testing.T) {
+	c, s := startStore(t)
+	// Plant a file outside the bucket tree.
+	secret := filepath.Join(filepath.Dir(s.Root()), "secret")
+	if err := os.WriteFile(secret, []byte("s3cret"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"../secret", "a/../../secret", "..", "./x"} {
+		if _, err := c.Get("b", key); err == nil {
+			t.Errorf("traversal key %q accepted", key)
+		}
+		if err := c.Put("b", key, []byte("x")); err == nil {
+			t.Errorf("traversal put %q accepted", key)
+		}
+	}
+	// Raw request bypassing client-side escaping.
+	req := httptest.NewRequest(http.MethodGet, "/b/%2e%2e/secret", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code == http.StatusOK && bytes.Contains(rec.Body.Bytes(), []byte("s3cret")) {
+		t.Error("raw traversal leaked file contents")
+	}
+}
+
+func TestPutFrom(t *testing.T) {
+	c, _ := startStore(t)
+	data := bytes.Repeat([]byte("stream"), 1000)
+	if err := c.PutFrom("b", "k", bytes.NewReader(data), int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("b", "k")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("PutFrom round trip failed: %v", err)
+	}
+}
+
+func TestObjectReaderAt(t *testing.T) {
+	c, _ := startStore(t)
+	data := make([]byte, 5000)
+	rand.New(rand.NewSource(2)).Read(data)
+	if err := c.Put("b", "k", data); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := NewObjectReaderAt(c, "b", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Size != 5000 {
+		t.Errorf("Size = %d", ra.Size)
+	}
+	buf := make([]byte, 100)
+	if _, err := ra.ReadAt(buf, 1234); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[1234:1334]) {
+		t.Error("ReadAt mismatch")
+	}
+	// Read crossing EOF returns io.EOF with partial data.
+	n, err := ra.ReadAt(buf, 4950)
+	if n != 50 || err != io.EOF {
+		t.Errorf("EOF read = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf[:50], data[4950:]) {
+		t.Error("EOF read data mismatch")
+	}
+	// Read past EOF.
+	if _, err := ra.ReadAt(buf, 6000); err != io.EOF {
+		t.Errorf("past-EOF read = %v", err)
+	}
+}
+
+func TestShapedTransferCountsBytes(t *testing.T) {
+	// Route client traffic through a shaped link, as the harness does, and
+	// confirm both pacing and byte counting.
+	s, err := NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes are paced on whichever endpoint is wrapped, so both the
+	// server listener and the client dialer go through the link: response
+	// bytes are paced at the server, request bytes at the client.
+	link := netsim.NewLink(100*netsim.Mbps, 0)
+	addr, shutdown, err := s.ListenAndServe("127.0.0.1:0", link.Listener)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	c := NewClient(addr, link.Dial)
+	payload := make([]byte, 1<<20)
+	if err := c.Put("b", "big", payload); err != nil {
+		t.Fatal(err)
+	}
+	link.ResetCounters()
+	start := time.Now()
+	got, err := c.Get("b", "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(got) != len(payload) {
+		t.Fatalf("got %d bytes", len(got))
+	}
+	if link.BytesReceived() < int64(len(payload)) {
+		t.Errorf("link counted %d bytes down", link.BytesReceived())
+	}
+	ideal := link.TransferTime(int64(len(payload)))
+	if elapsed < ideal*7/10 {
+		t.Errorf("shaped GET took %v, want >= ~%v", elapsed, ideal)
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	off, n, err := parseRange("bytes=10-19", 100)
+	if err != nil || off != 10 || n != 10 {
+		t.Errorf("parseRange = %d,%d,%v", off, n, err)
+	}
+	for _, bad := range []string{"10-19", "bytes=a-b", "bytes=20-10", "bytes=0-100"} {
+		if _, _, err := parseRange(bad, 100); err == nil {
+			t.Errorf("parseRange(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, s := startStore(t)
+	req := httptest.NewRequest(http.MethodPost, "/b/k", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", rec.Code)
+	}
+}
+
+func TestMissingBucketOrKey(t *testing.T) {
+	_, s := startStore(t)
+	for _, path := range []string{"/", "/bucketonly", "/bucket/"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s status = %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+func TestListSkipsUploadTemp(t *testing.T) {
+	c, s := startStore(t)
+	if err := c.Put("b", "real", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a leftover temp upload file.
+	if err := os.WriteFile(filepath.Join(s.Root(), "b", ".upload-123"), []byte("t"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	objs, err := c.List("b", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 || objs[0].Key != "real" {
+		t.Errorf("listing = %v", objs)
+	}
+}
+
+func TestInvalidBucketNames(t *testing.T) {
+	c, _ := startStore(t)
+	if err := c.Put("..", "k", []byte("x")); err == nil {
+		t.Error("bucket .. accepted")
+	}
+}
+
+func BenchmarkGet1MB(b *testing.B) {
+	s, err := NewServer(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := NewClient(ts.Listener.Addr().String(), nil)
+	payload := make([]byte, 1<<20)
+	if err := c.Put("b", "k", payload); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Get("b", "k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestNewServerBadRoot(t *testing.T) {
+	// A file where the root dir should be.
+	dir := t.TempDir()
+	file := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(filepath.Join(file, "sub")); err == nil {
+		t.Error("root under a file accepted")
+	}
+}
+
+func TestPutInvalidKeyDirect(t *testing.T) {
+	_, s := startStore(t)
+	req := httptest.NewRequest(http.MethodPut, "/b/%2e%2e/esc", strings.NewReader("x"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("traversal PUT status = %d", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodDelete, "/b/%2e%2e/esc", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("traversal DELETE status = %d", rec.Code)
+	}
+}

@@ -1,0 +1,273 @@
+// Package objstore is a small S3-style object store standing in for the
+// MinIO server in the paper's testbed. The server exposes buckets and
+// objects over HTTP — PUT/GET/HEAD/DELETE plus ranged GETs and bucket
+// listings — backed by a local directory (the storage node's "local
+// SSD"). The client provides typed access and an io.ReaderAt adapter
+// that the s3fs layer builds on.
+//
+// Only the behaviours the experiments rely on are implemented: whole- and
+// range-reads served from disk, content lengths, and listing. Multipart
+// upload, auth, and versioning are out of scope.
+package objstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ObjectInfo describes one stored object.
+type ObjectInfo struct {
+	Key  string `json:"key"`
+	Size int64  `json:"size"`
+}
+
+// Server is an http.Handler serving an object store rooted at a
+// directory. Buckets are first-level directories; object keys may contain
+// slashes.
+type Server struct {
+	root string
+}
+
+// NewServer returns a server storing objects under root, creating it if
+// needed.
+func NewServer(root string) (*Server, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("objstore: %w", err)
+	}
+	return &Server{root: root}, nil
+}
+
+// Root returns the backing directory.
+func (s *Server) Root() string { return s.root }
+
+// validName rejects path traversal and empty segments.
+func validName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "/") {
+		return false
+	}
+	clean := path.Clean(name)
+	if clean != name || clean == "." || clean == ".." ||
+		strings.HasPrefix(clean, "../") {
+		return false
+	}
+	return true
+}
+
+// objectPath maps bucket/key to a filesystem path, or an error for
+// malformed names.
+func (s *Server) objectPath(bucket, key string) (string, error) {
+	if !validName(bucket) || strings.Contains(bucket, "/") {
+		return "", fmt.Errorf("objstore: invalid bucket %q", bucket)
+	}
+	if !validName(key) {
+		return "", fmt.Errorf("objstore: invalid key %q", key)
+	}
+	return filepath.Join(s.root, bucket, filepath.FromSlash(key)), nil
+}
+
+// ServeHTTP implements the object protocol:
+//
+//	PUT    /bucket/key        store object
+//	GET    /bucket/key        fetch object (supports Range: bytes=a-b)
+//	HEAD   /bucket/key        object metadata
+//	DELETE /bucket/key        remove object
+//	GET    /bucket?list=1&prefix=p   list objects
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	trimmed := strings.TrimPrefix(r.URL.Path, "/")
+	bucket, key, hasKey := strings.Cut(trimmed, "/")
+	if bucket == "" {
+		http.Error(w, "missing bucket", http.StatusBadRequest)
+		return
+	}
+
+	if !hasKey || key == "" {
+		if r.Method == http.MethodGet && r.URL.Query().Has("list") {
+			s.handleList(w, r, bucket)
+			return
+		}
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+
+	switch r.Method {
+	case http.MethodPut:
+		s.handlePut(w, r, bucket, key)
+	case http.MethodGet, http.MethodHead:
+		s.handleGet(w, r, bucket, key)
+	case http.MethodDelete:
+		s.handleDelete(w, r, bucket, key)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, bucket, key string) {
+	p, err := s.objectPath(bucket, key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".upload-*")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := io.Copy(tmp, r.Body); err != nil {
+		tmp.Close()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, bucket, key string) {
+	p, err := s.objectPath(bucket, key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f, err := os.Open(p)
+	if errors.Is(err, os.ErrNotExist) {
+		http.Error(w, "no such object", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil || fi.IsDir() {
+		http.Error(w, "no such object", http.StatusNotFound)
+		return
+	}
+	// http.ServeContent implements Range, HEAD, and Content-Length.
+	http.ServeContent(w, r, "", fi.ModTime(), f)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, bucket, key string) {
+	p, err := s.objectPath(bucket, key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	err = os.Remove(p)
+	if errors.Is(err, os.ErrNotExist) {
+		http.Error(w, "no such object", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request, bucket string) {
+	if !validName(bucket) || strings.Contains(bucket, "/") {
+		http.Error(w, "invalid bucket", http.StatusBadRequest)
+		return
+	}
+	prefix := r.URL.Query().Get("prefix")
+	dir := filepath.Join(s.root, bucket)
+	var objects []ObjectInfo
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() || strings.HasPrefix(d.Name(), ".upload-") {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if !strings.HasPrefix(key, prefix) {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return err
+		}
+		objects = append(objects, ObjectInfo{Key: key, Size: fi.Size()})
+		return nil
+	})
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	sort.Slice(objects, func(i, j int) bool { return objects[i].Key < objects[j].Key })
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(objects); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+// ListenAndServe starts the store on addr over the given listener wrapper
+// (pass nil for a plain listener) and returns the bound address and a
+// shutdown func.
+func (s *Server) ListenAndServe(addr string, wrap func(net.Listener) net.Listener) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	bound := ln.Addr().String()
+	if wrap != nil {
+		ln = wrap(ln)
+	}
+	srv := &http.Server{Handler: s}
+	go srv.Serve(ln)
+	return bound, srv.Close, nil
+}
+
+// parseRange parses a single "bytes=a-b" header (helper for tests).
+func parseRange(h string, size int64) (off, n int64, err error) {
+	const pre = "bytes="
+	if !strings.HasPrefix(h, pre) {
+		return 0, 0, fmt.Errorf("objstore: bad range %q", h)
+	}
+	lo, hi, ok := strings.Cut(h[len(pre):], "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("objstore: bad range %q", h)
+	}
+	off, err = strconv.ParseInt(lo, 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	end, err := strconv.ParseInt(hi, 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	if off < 0 || end < off || end >= size {
+		return 0, 0, fmt.Errorf("objstore: range %q outside object of %d bytes", h, size)
+	}
+	return off, end - off + 1, nil
+}

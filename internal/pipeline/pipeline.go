@@ -1,0 +1,111 @@
+// Package pipeline models VTK-style visualization pipelines: a source
+// that introduces data, filters that transform it, and a sink that
+// consumes the result. Stages execute sequentially and the pipeline
+// records per-stage wall-clock timings, which is how the experiments
+// separate "data load time" (the source stage — the quantity every
+// figure in the paper reports) from downstream contour generation and
+// rendering time (which the paper excludes).
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Stage is one pipeline element. Sources receive a nil input; filters
+// and sinks receive the previous stage's output.
+type Stage interface {
+	// Name identifies the stage in timing reports.
+	Name() string
+	// Execute transforms in to out.
+	Execute(ctx context.Context, in any) (any, error)
+}
+
+// StageFunc adapts a function to the Stage interface.
+type StageFunc struct {
+	StageName string
+	Fn        func(ctx context.Context, in any) (any, error)
+}
+
+// Name implements Stage.
+func (s StageFunc) Name() string { return s.StageName }
+
+// Execute implements Stage.
+func (s StageFunc) Execute(ctx context.Context, in any) (any, error) {
+	return s.Fn(ctx, in)
+}
+
+// Timing records one stage's elapsed wall-clock time.
+type Timing struct {
+	Stage   string
+	Elapsed time.Duration
+}
+
+// Pipeline is an ordered chain of stages.
+type Pipeline struct {
+	stages  []Stage
+	timings []Timing
+}
+
+// New builds a pipeline from stages, in order: source first, sink last.
+func New(stages ...Stage) *Pipeline {
+	return &Pipeline{stages: stages}
+}
+
+// Append adds a stage to the end of the pipeline.
+func (p *Pipeline) Append(s Stage) *Pipeline {
+	p.stages = append(p.stages, s)
+	return p
+}
+
+// Run executes the pipeline and returns the final stage's output. Per-
+// stage timings are recorded and available from Timings until the next
+// Run.
+func (p *Pipeline) Run(ctx context.Context) (any, error) {
+	if len(p.stages) == 0 {
+		return nil, fmt.Errorf("pipeline: no stages")
+	}
+	p.timings = p.timings[:0]
+	var data any
+	for _, s := range p.stages {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		out, err := s.Execute(ctx, data)
+		p.timings = append(p.timings, Timing{Stage: s.Name(), Elapsed: time.Since(start)})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: stage %q: %w", s.Name(), err)
+		}
+		data = out
+	}
+	return data, nil
+}
+
+// Timings returns the stage timings from the most recent Run.
+func (p *Pipeline) Timings() []Timing {
+	out := make([]Timing, len(p.timings))
+	copy(out, p.timings)
+	return out
+}
+
+// StageTime returns the elapsed time of the named stage in the most
+// recent Run, or 0 if the stage did not run.
+func (p *Pipeline) StageTime(name string) time.Duration {
+	for _, t := range p.timings {
+		if t.Stage == name {
+			return t.Elapsed
+		}
+	}
+	return 0
+}
+
+// Total returns the summed stage time of the most recent Run.
+func (p *Pipeline) Total() time.Duration {
+	var sum time.Duration
+	for _, t := range p.timings {
+		sum += t.Elapsed
+	}
+	return sum
+}

@@ -1,0 +1,492 @@
+// Package rpc is a small MessagePack-RPC implementation standing in for
+// rpclib, which the paper's prototype uses to connect the storage-side
+// pre-filter sub-pipeline to the client-side post-filter sub-pipeline.
+//
+// Messages follow the msgpack-rpc shapes: requests are
+// [0, msgid, method, params], responses are [1, msgid, error, result],
+// and notifications are [2, method, params]. Unlike rpclib, each message
+// is carried in a 4-byte big-endian length-prefixed frame, which keeps
+// the stream decoder trivial without changing any measured behaviour
+// (the prefix adds 4 bytes per message).
+//
+// Clients multiplex concurrent calls over one connection; servers handle
+// each request in its own goroutine.
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"vizndp/internal/msgpack"
+)
+
+// Message type tags from the msgpack-rpc spec.
+const (
+	typeRequest      = 0
+	typeResponse     = 1
+	typeNotification = 2
+)
+
+// MaxFrameSize bounds a single RPC message. Pre-filter replies carry whole
+// filtered arrays, so the bound is generous.
+const MaxFrameSize = 1 << 30
+
+// ErrShutdown is returned for calls on a closed client.
+var ErrShutdown = errors.New("rpc: client is shut down")
+
+// ServerError is an error string returned by the remote side.
+type ServerError string
+
+func (e ServerError) Error() string { return string(e) }
+
+// Handler processes one call. Args are the decoded params; the returned
+// value must be encodable by msgpack.Encoder.PutAny.
+type Handler func(ctx context.Context, args []any) (any, error)
+
+// writeFrame sends one length-prefixed message body.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrameSize {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed message body.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("rpc: incoming frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Server dispatches msgpack-rpc requests to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+
+	lnMu      sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{
+		handlers:  make(map[string]Handler),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Register binds a handler to a method name, replacing any previous one.
+func (s *Server) Register(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Serve accepts connections from ln until the listener or server closes.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		ln.Close()
+		return ErrShutdown
+	}
+	s.listeners[ln] = struct{}{}
+	s.lnMu.Unlock()
+	defer func() {
+		s.lnMu.Lock()
+		delete(s.listeners, ln)
+		s.lnMu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.lnMu.Lock()
+			closed := s.closed
+			s.lnMu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Close stops all listeners and open connections.
+func (s *Server) Close() {
+	s.lnMu.Lock()
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.lnMu.Unlock()
+}
+
+// ServeConn processes requests from one connection until it closes.
+// Requests run concurrently; responses are serialized.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.lnMu.Unlock()
+
+	var wmu sync.Mutex // serialize response frames
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() {
+		cancel()
+		wg.Wait()
+		conn.Close()
+		s.lnMu.Lock()
+		delete(s.conns, conn)
+		s.lnMu.Unlock()
+	}()
+
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		msgid, method, args, msgType, err := decodeIncoming(body)
+		if err != nil {
+			return // protocol error: drop the connection
+		}
+		if msgType == typeNotification {
+			if h := s.lookup(method); h != nil {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_, _ = h(ctx, args)
+				}()
+			}
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			result, herr := s.dispatch(ctx, method, args)
+			resp, err := encodeResponse(msgid, herr, result)
+			if err != nil {
+				resp, _ = encodeResponse(msgid,
+					fmt.Errorf("rpc: unencodable result: %v", err), nil)
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = writeFrame(conn, resp)
+		}()
+	}
+}
+
+func (s *Server) lookup(method string) Handler {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.handlers[method]
+}
+
+func (s *Server) dispatch(ctx context.Context, method string, args []any) (any, error) {
+	h := s.lookup(method)
+	if h == nil {
+		return nil, fmt.Errorf("rpc: unknown method %q", method)
+	}
+	return h(ctx, args)
+}
+
+// decodeIncoming parses a request or notification frame.
+func decodeIncoming(body []byte) (msgid int64, method string, args []any, msgType int64, err error) {
+	d := msgpack.NewDecoder(body)
+	n, err := d.ReadArrayLen()
+	if err != nil {
+		return 0, "", nil, 0, err
+	}
+	msgType, err = d.ReadInt()
+	if err != nil {
+		return 0, "", nil, 0, err
+	}
+	switch msgType {
+	case typeRequest:
+		if n != 4 {
+			return 0, "", nil, 0, fmt.Errorf("rpc: request with %d elements", n)
+		}
+		if msgid, err = d.ReadInt(); err != nil {
+			return 0, "", nil, 0, err
+		}
+	case typeNotification:
+		if n != 3 {
+			return 0, "", nil, 0, fmt.Errorf("rpc: notification with %d elements", n)
+		}
+	default:
+		return 0, "", nil, 0, fmt.Errorf("rpc: unexpected message type %d", msgType)
+	}
+	if method, err = d.ReadString(); err != nil {
+		return 0, "", nil, 0, err
+	}
+	nargs, err := d.ReadArrayLen()
+	if err != nil {
+		return 0, "", nil, 0, err
+	}
+	args = make([]any, nargs)
+	for i := range args {
+		if args[i], err = d.ReadAny(); err != nil {
+			return 0, "", nil, 0, err
+		}
+	}
+	return msgid, method, args, msgType, nil
+}
+
+func encodeResponse(msgid int64, herr error, result any) ([]byte, error) {
+	e := msgpack.NewEncoder(256)
+	e.PutArrayLen(4)
+	e.PutInt(typeResponse)
+	e.PutInt(msgid)
+	if herr != nil {
+		e.PutString(herr.Error())
+	} else {
+		e.PutNil()
+	}
+	if err := e.PutAny(result); err != nil {
+		return nil, err
+	}
+	return e.Bytes(), nil
+}
+
+// Client is a msgpack-rpc client multiplexing calls over one connection.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serialize request frames
+
+	mu      sync.Mutex
+	seq     int64
+	pending map[int64]chan response
+	closed  bool
+	err     error
+}
+
+type response struct {
+	result any
+	err    error
+}
+
+// NewClient starts a client over an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{conn: conn, pending: make(map[int64]chan response)}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to a server using the given dial function (for example
+// a netsim.Link's Dial) or net.Dial when dialFn is nil.
+func Dial(network, addr string, dialFn func(network, addr string) (net.Conn, error)) (*Client, error) {
+	if dialFn == nil {
+		dialFn = net.Dial
+	}
+	conn, err := dialFn(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// Close tears down the connection; pending calls fail with ErrShutdown.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	var loopErr error
+	for {
+		body, err := readFrame(c.conn)
+		if err != nil {
+			loopErr = err
+			break
+		}
+		msgid, resp, err := decodeResponse(body)
+		if err != nil {
+			loopErr = err
+			break
+		}
+		c.mu.Lock()
+		ch := c.pending[msgid]
+		delete(c.pending, msgid)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+	c.mu.Lock()
+	c.closed = true
+	if c.err == nil {
+		c.err = loopErr
+	}
+	for id, ch := range c.pending {
+		ch <- response{err: ErrShutdown}
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+func decodeResponse(body []byte) (int64, response, error) {
+	d := msgpack.NewDecoder(body)
+	n, err := d.ReadArrayLen()
+	if err != nil || n != 4 {
+		return 0, response{}, fmt.Errorf("rpc: bad response header (n=%d, err=%v)", n, err)
+	}
+	t, err := d.ReadInt()
+	if err != nil || t != typeResponse {
+		return 0, response{}, fmt.Errorf("rpc: unexpected message type %d (err=%v)", t, err)
+	}
+	msgid, err := d.ReadInt()
+	if err != nil {
+		return 0, response{}, err
+	}
+	var resp response
+	if d.IsNil() {
+		_ = d.ReadNil()
+	} else {
+		msg, err := d.ReadString()
+		if err != nil {
+			return 0, response{}, err
+		}
+		resp.err = ServerError(msg)
+	}
+	if resp.result, err = d.ReadAny(); err != nil {
+		return 0, response{}, err
+	}
+	return msgid, resp, nil
+}
+
+// CallContext invokes method with args and waits for the result, the
+// context's cancellation, or its deadline — whichever comes first. A
+// cancelled call abandons its pending slot; the connection stays usable
+// and a late reply for that id is discarded by the read loop.
+func (c *Client) CallContext(ctx context.Context, method string, args ...any) (any, error) {
+	ch, msgid, err := c.send(method, args)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		return resp.result, resp.err
+	case <-ctx.Done():
+		c.abandon(msgid)
+		return nil, ctx.Err()
+	}
+}
+
+// Call invokes method with args and waits for the result.
+func (c *Client) Call(method string, args ...any) (any, error) {
+	ch, _, err := c.send(method, args)
+	if err != nil {
+		return nil, err
+	}
+	resp := <-ch
+	return resp.result, resp.err
+}
+
+// send registers a pending call and writes the request frame.
+func (c *Client) send(method string, args []any) (chan response, int64, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrShutdown
+		}
+		return nil, 0, err
+	}
+	c.seq++
+	msgid := c.seq
+	ch := make(chan response, 1)
+	c.pending[msgid] = ch
+	c.mu.Unlock()
+
+	body, err := encodeRequest(msgid, method, args)
+	if err != nil {
+		c.abandon(msgid)
+		return nil, 0, err
+	}
+	c.wmu.Lock()
+	err = writeFrame(c.conn, body)
+	c.wmu.Unlock()
+	if err != nil {
+		c.abandon(msgid)
+		return nil, 0, err
+	}
+	return ch, msgid, nil
+}
+
+// Notify sends a fire-and-forget notification.
+func (c *Client) Notify(method string, args ...any) error {
+	e := msgpack.NewEncoder(256)
+	e.PutArrayLen(3)
+	e.PutInt(typeNotification)
+	e.PutString(method)
+	e.PutArrayLen(len(args))
+	for _, a := range args {
+		if err := e.PutAny(a); err != nil {
+			return err
+		}
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeFrame(c.conn, e.Bytes())
+}
+
+func (c *Client) abandon(msgid int64) {
+	c.mu.Lock()
+	delete(c.pending, msgid)
+	c.mu.Unlock()
+}
+
+func encodeRequest(msgid int64, method string, args []any) ([]byte, error) {
+	e := msgpack.NewEncoder(256)
+	e.PutArrayLen(4)
+	e.PutInt(typeRequest)
+	e.PutInt(msgid)
+	e.PutString(method)
+	e.PutArrayLen(len(args))
+	for _, a := range args {
+		if err := e.PutAny(a); err != nil {
+			return nil, err
+		}
+	}
+	return e.Bytes(), nil
+}

@@ -1,0 +1,253 @@
+// Package s3fs presents an object-store bucket as a read-only filesystem,
+// standing in for the FUSE-based s3fs tool the paper uses to mount MinIO
+// buckets on the client (baseline) or storage (NDP) node.
+//
+// Files support sequential reads with read-ahead buffering — mirroring how
+// a FUSE mount turns stream reads into ranged object GETs — as well as
+// random access through io.ReaderAt and io.Seeker, which the vtkio reader
+// uses to fetch only selected arrays.
+package s3fs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"time"
+
+	"vizndp/internal/objstore"
+)
+
+// DefaultChunkSize is the read-ahead window for sequential reads.
+const DefaultChunkSize = 1 << 20
+
+// FS is a read-only fs.FS over one bucket.
+type FS struct {
+	client *objstore.Client
+	bucket string
+	// ChunkSize is the read-ahead window; DefaultChunkSize if 0.
+	ChunkSize int
+}
+
+// New returns a filesystem view of bucket served by client.
+func New(client *objstore.Client, bucket string) *FS {
+	return &FS{client: client, bucket: bucket}
+}
+
+// Open opens the named object. The returned file is an fs.File that also
+// implements io.ReaderAt and io.Seeker.
+func (f *FS) Open(name string) (fs.File, error) {
+	if !fs.ValidPath(name) || name == "." {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	size, err := f.client.Stat(f.bucket, name)
+	if err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	chunk := f.ChunkSize
+	if chunk <= 0 {
+		chunk = DefaultChunkSize
+	}
+	return &File{
+		client: f.client,
+		bucket: f.bucket,
+		key:    name,
+		size:   size,
+		chunk:  chunk,
+	}, nil
+}
+
+// ReadDir lists the objects under the given prefix directory, satisfying
+// the common pattern of scanning a timestep directory.
+func (f *FS) ReadDir(name string) ([]fs.DirEntry, error) {
+	prefix := ""
+	if name != "." {
+		if !fs.ValidPath(name) {
+			return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrInvalid}
+		}
+		prefix = name + "/"
+	}
+	objs, err := f.client.List(f.bucket, prefix)
+	if err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	entries := make([]fs.DirEntry, 0, len(objs))
+	seen := make(map[string]bool)
+	for _, o := range objs {
+		rest := o.Key[len(prefix):]
+		first, _, isDir := cutSlash(rest)
+		if seen[first] {
+			continue
+		}
+		seen[first] = true
+		entries = append(entries, dirEntry{
+			name:  first,
+			size:  o.Size,
+			isDir: isDir,
+		})
+	}
+	return entries, nil
+}
+
+func cutSlash(s string) (first, rest string, found bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}
+
+// File is an open object handle.
+type File struct {
+	client *objstore.Client
+	bucket string
+	key    string
+	size   int64
+	chunk  int
+
+	offset int64  // current Read/Seek position
+	buf    []byte // read-ahead window
+	bufOff int64  // object offset of buf[0]
+	closed bool
+}
+
+var (
+	_ fs.File     = (*File)(nil)
+	_ io.ReaderAt = (*File)(nil)
+	_ io.Seeker   = (*File)(nil)
+)
+
+// Stat implements fs.File.
+func (f *File) Stat() (fs.FileInfo, error) {
+	if f.closed {
+		return nil, fs.ErrClosed
+	}
+	return fileInfo{name: path.Base(f.key), size: f.size}, nil
+}
+
+// Size returns the object size in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// Read implements sequential reads with read-ahead: a miss fetches the
+// next ChunkSize window in one ranged GET.
+func (f *File) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	if f.offset >= f.size {
+		return 0, io.EOF
+	}
+	// Serve from the buffered window when possible.
+	if f.offset >= f.bufOff && f.offset < f.bufOff+int64(len(f.buf)) {
+		n := copy(p, f.buf[f.offset-f.bufOff:])
+		f.offset += int64(n)
+		return n, nil
+	}
+	// Miss: fetch a fresh window at the current offset.
+	want := int64(f.chunk)
+	if f.offset+want > f.size {
+		want = f.size - f.offset
+	}
+	data, err := f.client.GetRange(f.bucket, f.key, f.offset, want)
+	if err != nil {
+		return 0, fmt.Errorf("s3fs: read %s at %d: %w", f.key, f.offset, err)
+	}
+	if len(data) == 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	f.buf = data
+	f.bufOff = f.offset
+	n := copy(p, data)
+	f.offset += int64(n)
+	return n, nil
+}
+
+// ReadAt implements io.ReaderAt with a direct ranged GET, bypassing the
+// read-ahead buffer.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	short := false
+	if off+n > f.size {
+		n = f.size - off
+		short = true
+	}
+	data, err := f.client.GetRange(f.bucket, f.key, off, n)
+	if err != nil {
+		return 0, err
+	}
+	copied := copy(p, data)
+	if int64(copied) < n {
+		return copied, io.ErrUnexpectedEOF
+	}
+	if short {
+		return copied, io.EOF
+	}
+	return copied, nil
+}
+
+// Seek implements io.Seeker.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = f.offset + offset
+	case io.SeekEnd:
+		abs = f.size + offset
+	default:
+		return 0, fmt.Errorf("s3fs: invalid whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("s3fs: negative seek position %d", abs)
+	}
+	f.offset = abs
+	return abs, nil
+}
+
+// Close releases the handle.
+func (f *File) Close() error {
+	f.closed = true
+	f.buf = nil
+	return nil
+}
+
+type fileInfo struct {
+	name string
+	size int64
+}
+
+func (fi fileInfo) Name() string       { return fi.name }
+func (fi fileInfo) Size() int64        { return fi.size }
+func (fi fileInfo) Mode() fs.FileMode  { return 0o444 }
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return false }
+func (fi fileInfo) Sys() any           { return nil }
+
+type dirEntry struct {
+	name  string
+	size  int64
+	isDir bool
+}
+
+func (d dirEntry) Name() string { return d.name }
+func (d dirEntry) IsDir() bool  { return d.isDir }
+func (d dirEntry) Type() fs.FileMode {
+	if d.isDir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (d dirEntry) Info() (fs.FileInfo, error) {
+	return fileInfo{name: d.name, size: d.size}, nil
+}

@@ -1,0 +1,514 @@
+// Package vtkio stores datasets on disk (or in an object store) in a
+// binary format modelled on VTK image-data files: a self-describing
+// header followed by per-array data blocks. Two properties of VTK's
+// format matter to the paper and are preserved here:
+//
+//  1. Data-array selection: each array occupies an independent byte range
+//     recorded in the header, so a reader can fetch only the arrays a
+//     pipeline needs (the paper reads just v02/v03 out of 11 arrays).
+//  2. Per-array compression: arrays are chunked and each chunk is
+//     compressed independently with GZip or LZ4, as VTK does for its
+//     appended data blocks.
+//
+// Layout:
+//
+//	magic "VND1" | uint32 BE header length | JSON header | array blocks
+//
+// Values are little-endian float32, matching the datasets in the paper
+// (every array in Table I is float).
+package vtkio
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+
+	"vizndp/internal/compress"
+	"vizndp/internal/grid"
+)
+
+// Magic identifies the file format.
+const Magic = "VND1"
+
+// DefaultChunkSize is the raw byte size of each compression chunk.
+const DefaultChunkSize = 1 << 20
+
+// maxHeaderSize bounds the JSON header to keep corrupt inputs from
+// triggering huge allocations.
+const maxHeaderSize = 16 << 20
+
+// ChunkInfo records one compressed chunk of an array block.
+type ChunkInfo struct {
+	Comp int `json:"comp"` // compressed byte length
+	Raw  int `json:"raw"`  // decompressed byte length
+}
+
+// LossyCodecName marks arrays stored with the error-bounded quantizing
+// codec (see compress.QuantizedLZ4). The paper defers error-bounded
+// floating-point compression to future work; this implements it.
+const LossyCodecName = "qlz4"
+
+// ArrayInfo describes one stored array.
+type ArrayInfo struct {
+	Name   string      `json:"name"`
+	Codec  string      `json:"codec"`
+	Offset int64       `json:"offset"` // absolute file offset of first chunk
+	Chunks []ChunkInfo `json:"chunks"`
+	// LossyBound is the absolute error bound when Codec is "qlz4";
+	// zero otherwise.
+	LossyBound float64 `json:"lossyBound,omitempty"`
+}
+
+// codec returns the array's codec implementation.
+func (a *ArrayInfo) codec() (compress.Codec, error) {
+	if a.Codec == LossyCodecName {
+		if a.LossyBound <= 0 {
+			return nil, fmt.Errorf("vtkio: array %q has lossy codec without a bound", a.Name)
+		}
+		return compress.QuantizedLZ4(a.LossyBound), nil
+	}
+	kind, err := compress.ParseKind(a.Codec)
+	if err != nil {
+		return nil, err
+	}
+	return compress.ByKind(kind)
+}
+
+// CompressedSize returns the total stored byte size of the array.
+func (a *ArrayInfo) CompressedSize() int64 {
+	var n int64
+	for _, c := range a.Chunks {
+		n += int64(c.Comp)
+	}
+	return n
+}
+
+// RawSize returns the decompressed byte size of the array.
+func (a *ArrayInfo) RawSize() int64 {
+	var n int64
+	for _, c := range a.Chunks {
+		n += int64(c.Raw)
+	}
+	return n
+}
+
+// Header is the file's JSON metadata block.
+type Header struct {
+	Dims    [3]int      `json:"dims"`
+	Origin  [3]float64  `json:"origin"`
+	Spacing [3]float64  `json:"spacing"`
+	Arrays  []ArrayInfo `json:"arrays"`
+	// CoordsX/Y/Z hold explicit per-axis coordinates for rectilinear
+	// grids (the paper's future-work grid type); empty for uniform grids.
+	CoordsX []float64 `json:"coordsX,omitempty"`
+	CoordsY []float64 `json:"coordsY,omitempty"`
+	CoordsZ []float64 `json:"coordsZ,omitempty"`
+}
+
+// RectGrid returns the stored rectilinear geometry, or nil for uniform
+// files. Topology (dims, point order) is identical either way, so NDP
+// payloads do not depend on which one a file carries.
+func (h *Header) RectGrid() *grid.Rectilinear {
+	if len(h.CoordsX) == 0 {
+		return nil
+	}
+	return grid.NewRectilinear(h.CoordsX, h.CoordsY, h.CoordsZ)
+}
+
+// Grid reconstructs the grid described by the header.
+func (h *Header) Grid() *grid.Uniform {
+	return &grid.Uniform{
+		Dims:    grid.Dims{X: h.Dims[0], Y: h.Dims[1], Z: h.Dims[2]},
+		Origin:  grid.Vec3{X: h.Origin[0], Y: h.Origin[1], Z: h.Origin[2]},
+		Spacing: grid.Vec3{X: h.Spacing[0], Y: h.Spacing[1], Z: h.Spacing[2]},
+	}
+}
+
+// Array returns the info for the named array, or nil.
+func (h *Header) Array(name string) *ArrayInfo {
+	for i := range h.Arrays {
+		if h.Arrays[i].Name == name {
+			return &h.Arrays[i]
+		}
+	}
+	return nil
+}
+
+// ArrayNames lists stored arrays in file order.
+func (h *Header) ArrayNames() []string {
+	out := make([]string, len(h.Arrays))
+	for i := range h.Arrays {
+		out[i] = h.Arrays[i].Name
+	}
+	return out
+}
+
+// FloatsToBytes serializes values as little-endian float32.
+func FloatsToBytes(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(f))
+	}
+	return out
+}
+
+// BytesToFloats deserializes little-endian float32 values.
+func BytesToFloats(b []byte) ([]float32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("vtkio: %d bytes is not a whole number of float32", len(b))
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
+// WriteOptions configures Write.
+type WriteOptions struct {
+	Codec     compress.Kind
+	ChunkSize int // raw bytes per chunk; DefaultChunkSize if 0
+	// LossyBound, when positive, stores arrays with the error-bounded
+	// quantizing codec instead of Codec: every value is reproduced within
+	// +/- LossyBound. Chunk sizes stay float32-aligned automatically.
+	LossyBound float64
+	// Rect, when non-nil, records explicit rectilinear coordinates for
+	// the dataset's topology (its dims must match the dataset grid's).
+	Rect *grid.Rectilinear
+}
+
+// Write serializes ds to w, compressing each array with the requested
+// codec. Chunks are compressed in parallel across CPUs.
+func Write(w io.Writer, ds *grid.Dataset, opts WriteOptions) error {
+	if err := ds.Grid.Validate(); err != nil {
+		return err
+	}
+	chunkSize := opts.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	chunkSize &^= 3 // keep chunks float32-aligned for the lossy codec
+	if chunkSize == 0 {
+		chunkSize = 4
+	}
+	var codec compress.Codec
+	codecName := opts.Codec.String()
+	if opts.LossyBound > 0 {
+		codec = compress.QuantizedLZ4(opts.LossyBound)
+		codecName = LossyCodecName
+	} else {
+		var err error
+		codec, err = compress.ByKind(opts.Codec)
+		if err != nil {
+			return err
+		}
+	}
+
+	h := Header{
+		Dims:    [3]int{ds.Grid.Dims.X, ds.Grid.Dims.Y, ds.Grid.Dims.Z},
+		Origin:  [3]float64{ds.Grid.Origin.X, ds.Grid.Origin.Y, ds.Grid.Origin.Z},
+		Spacing: [3]float64{ds.Grid.Spacing.X, ds.Grid.Spacing.Y, ds.Grid.Spacing.Z},
+	}
+	if opts.Rect != nil {
+		if err := opts.Rect.Validate(); err != nil {
+			return err
+		}
+		if opts.Rect.GridDims() != ds.Grid.Dims {
+			return fmt.Errorf("vtkio: rectilinear dims %v do not match dataset dims %v",
+				opts.Rect.GridDims(), ds.Grid.Dims)
+		}
+		h.CoordsX = opts.Rect.X
+		h.CoordsY = opts.Rect.Y
+		h.CoordsZ = opts.Rect.Z
+	}
+
+	type block struct {
+		info   ArrayInfo
+		chunks [][]byte
+	}
+	blocks := make([]block, 0, ds.NumFields())
+	for _, name := range ds.FieldNames() {
+		raw := FloatsToBytes(ds.Field(name).Values)
+		chunks, infos, err := compressChunks(raw, chunkSize, codec)
+		if err != nil {
+			return fmt.Errorf("vtkio: array %q: %w", name, err)
+		}
+		info := ArrayInfo{Name: name, Codec: codecName, Chunks: infos}
+		if opts.LossyBound > 0 {
+			info.LossyBound = opts.LossyBound
+		}
+		blocks = append(blocks, block{info: info, chunks: chunks})
+	}
+
+	// Lay out offsets. The header length depends on the offsets, whose
+	// digit count depends on the header length; iterate until stable.
+	headerLen := 0
+	for iter := 0; iter < 8; iter++ {
+		off := int64(len(Magic) + 4 + headerLen)
+		for i := range blocks {
+			blocks[i].info.Offset = off
+			off += blocks[i].info.CompressedSize()
+		}
+		h.Arrays = h.Arrays[:0]
+		for i := range blocks {
+			h.Arrays = append(h.Arrays, blocks[i].info)
+		}
+		enc, err := json.Marshal(&h)
+		if err != nil {
+			return fmt.Errorf("vtkio: header: %w", err)
+		}
+		if len(enc) == headerLen {
+			break
+		}
+		headerLen = len(enc)
+	}
+	enc, err := json.Marshal(&h)
+	if err != nil {
+		return fmt.Errorf("vtkio: header: %w", err)
+	}
+	if len(enc) != headerLen {
+		return fmt.Errorf("vtkio: header layout did not converge")
+	}
+
+	if _, err := io.WriteString(w, Magic); err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(headerLen))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(enc); err != nil {
+		return err
+	}
+	for i := range blocks {
+		for _, c := range blocks[i].chunks {
+			if _, err := w.Write(c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFile writes ds to a new file at path.
+func WriteFile(path string, ds *grid.Dataset, opts WriteOptions) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, ds, opts); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// compressChunks splits raw into chunkSize pieces and compresses them in
+// parallel.
+func compressChunks(raw []byte, chunkSize int, codec compress.Codec) ([][]byte, []ChunkInfo, error) {
+	n := (len(raw) + chunkSize - 1) / chunkSize
+	if n == 0 {
+		n = 1 // an empty array still gets one (empty) chunk
+	}
+	chunks := make([][]byte, n)
+	infos := make([]ChunkInfo, n)
+	errs := make([]error, n)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < n; i++ {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > len(raw) {
+			hi = len(raw)
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, piece []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			comp, err := codec.Compress(piece)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			chunks[i] = comp
+			infos[i] = ChunkInfo{Comp: len(comp), Raw: len(piece)}
+		}(i, raw[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return chunks, infos, nil
+}
+
+// Reader provides selective access to a stored dataset.
+type Reader struct {
+	src    io.ReaderAt
+	header Header
+}
+
+// OpenReader parses the header from src and returns a reader. src must
+// remain valid for the reader's lifetime.
+func OpenReader(src io.ReaderAt) (*Reader, error) {
+	pre := make([]byte, len(Magic)+4)
+	if _, err := readFullAt(src, pre, 0); err != nil {
+		return nil, fmt.Errorf("vtkio: reading preamble: %w", err)
+	}
+	if string(pre[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("vtkio: bad magic %q", pre[:len(Magic)])
+	}
+	hlen := binary.BigEndian.Uint32(pre[len(Magic):])
+	if hlen > maxHeaderSize {
+		return nil, fmt.Errorf("vtkio: header of %d bytes exceeds limit", hlen)
+	}
+	hbuf := make([]byte, hlen)
+	if _, err := readFullAt(src, hbuf, int64(len(pre))); err != nil {
+		return nil, fmt.Errorf("vtkio: reading header: %w", err)
+	}
+	r := &Reader{src: src}
+	if err := json.Unmarshal(hbuf, &r.header); err != nil {
+		return nil, fmt.Errorf("vtkio: parsing header: %w", err)
+	}
+	if err := r.header.Grid().Validate(); err != nil {
+		return nil, err
+	}
+	if rect := r.header.RectGrid(); rect != nil {
+		if err := rect.Validate(); err != nil {
+			return nil, err
+		}
+		if rect.GridDims() != r.header.Grid().Dims {
+			return nil, fmt.Errorf("vtkio: rectilinear dims %v do not match grid dims %v",
+				rect.GridDims(), r.header.Grid().Dims)
+		}
+	}
+	return r, nil
+}
+
+// OpenFile opens path for selective reads. Close the returned closer when
+// done.
+func OpenFile(path string) (*Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := OpenReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+func readFullAt(src io.ReaderAt, buf []byte, off int64) (int, error) {
+	n, err := src.ReadAt(buf, off)
+	if n == len(buf) {
+		return n, nil
+	}
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+// Header returns the parsed file header.
+func (r *Reader) Header() *Header { return &r.header }
+
+// Grid returns the stored grid definition.
+func (r *Reader) Grid() *grid.Uniform { return r.header.Grid() }
+
+// ReadArrayBytes fetches and decompresses the named array's raw
+// little-endian bytes, touching only that array's byte range.
+func (r *Reader) ReadArrayBytes(name string) ([]byte, error) {
+	info := r.header.Array(name)
+	if info == nil {
+		return nil, fmt.Errorf("vtkio: no array %q (have %v)", name, r.header.ArrayNames())
+	}
+	codec, err := info.codec()
+	if err != nil {
+		return nil, err
+	}
+	// One sequential read of the array's compressed extent, then parallel
+	// chunk decompression.
+	compBuf := make([]byte, info.CompressedSize())
+	if _, err := readFullAt(r.src, compBuf, info.Offset); err != nil {
+		return nil, fmt.Errorf("vtkio: reading array %q: %w", name, err)
+	}
+	raw := make([]byte, info.RawSize())
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(info.Chunks))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var coff, roff int
+	for i, c := range info.Chunks {
+		comp := compBuf[coff : coff+c.Comp]
+		out := raw[roff : roff+c.Raw]
+		coff += c.Comp
+		roff += c.Raw
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, comp, out []byte, c ChunkInfo) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			dec, err := codec.Decompress(comp, c.Raw)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			copy(out, dec)
+		}(i, comp, out, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("vtkio: array %q: %w", name, err)
+		}
+	}
+	return raw, nil
+}
+
+// ReadArray fetches the named array as a field.
+func (r *Reader) ReadArray(name string) (*grid.Field, error) {
+	raw, err := r.ReadArrayBytes(name)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := BytesToFloats(raw)
+	if err != nil {
+		return nil, err
+	}
+	if want := r.Grid().NumPoints(); len(vals) != want {
+		return nil, fmt.Errorf("vtkio: array %q has %d values, grid has %d points",
+			name, len(vals), want)
+	}
+	return &grid.Field{Name: name, Values: vals}, nil
+}
+
+// ReadDataset fetches the named arrays (or all arrays when names is
+// empty) into a dataset.
+func (r *Reader) ReadDataset(names ...string) (*grid.Dataset, error) {
+	if len(names) == 0 {
+		names = r.header.ArrayNames()
+	}
+	ds := grid.NewDataset(r.Grid())
+	for _, n := range names {
+		f, err := r.ReadArray(n)
+		if err != nil {
+			return nil, err
+		}
+		if err := ds.AddField(f); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,337 @@
+// Package vizndp accelerates visualization pipelines with near-data
+// computing, reproducing "Accelerating Viz Pipelines Using Near-Data
+// Computing: An Early Experience" (Zheng et al., SC 2024).
+//
+// The library splits a contour filter into a pre-filter that runs on the
+// storage node — selecting only the mesh points the contour needs before
+// any data crosses the network — and a post-filter that completes
+// contour generation on the client from the sparse payload. Around that
+// core it provides every substrate the paper's evaluation depends on: a
+// VTK-like pipeline framework, marching-tetrahedra/squares contour
+// filters, a dataset file format with per-array GZip/LZ4 compression, an
+// S3-style object store with an s3fs-like filesystem view, a
+// MessagePack-RPC layer, a bandwidth-shaped network emulator, synthetic
+// xRage and Nyx dataset generators, a software rasterizer, and the
+// experiment harness that regenerates the paper's figures and tables.
+//
+// # Quick start
+//
+//	ds, _ := vizndp.GenerateAsteroid(vizndp.AsteroidConfig{N: 64, Seed: 1}, 24006)
+//	mesh, stats, _ := vizndp.SplitContour(ds.Grid, ds.Field("v02"), []float64{0.1}, vizndp.EncAuto)
+//	fmt.Printf("contoured %d triangles moving %s instead of %s\n",
+//	    mesh.NumTriangles(),
+//	    vizndp.FormatBytes(stats.PayloadBytes), vizndp.FormatBytes(stats.RawBytes))
+//
+// For the distributed setup (storage node + client node), see NewNDPServer
+// and DialNDP, and the runnable programs under cmd/ and examples/.
+package vizndp
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"io/fs"
+	"net"
+
+	"vizndp/internal/compress"
+	"vizndp/internal/contour"
+	"vizndp/internal/core"
+	"vizndp/internal/grid"
+	"vizndp/internal/netsim"
+	"vizndp/internal/objstore"
+	"vizndp/internal/pipeline"
+	"vizndp/internal/render"
+	"vizndp/internal/s3fs"
+	"vizndp/internal/sim"
+	"vizndp/internal/stats"
+	"vizndp/internal/vtkio"
+)
+
+// Data model.
+type (
+	// Grid is a uniform rectilinear grid.
+	Grid = grid.Uniform
+	// Dims holds per-axis point counts.
+	Dims = grid.Dims
+	// Vec3 is a 3D point or direction.
+	Vec3 = grid.Vec3
+	// Field is a named scalar array over grid points.
+	Field = grid.Field
+	// Dataset pairs a grid with named fields.
+	Dataset = grid.Dataset
+	// Rectilinear is a grid with explicit per-axis coordinates (the
+	// paper's future-work grid type).
+	Rectilinear = grid.Rectilinear
+	// Geometry is any grid the contour filters accept.
+	Geometry = contour.Geometry
+)
+
+// NewRectilinear builds a rectilinear grid from coordinate arrays.
+func NewRectilinear(x, y, z []float64) *Rectilinear {
+	return grid.NewRectilinear(x, y, z)
+}
+
+// NewGrid returns a unit-spaced grid with the given point counts.
+func NewGrid(nx, ny, nz int) *Grid { return grid.NewUniform(nx, ny, nz) }
+
+// NewDataset returns an empty dataset over g.
+func NewDataset(g *Grid) *Dataset { return grid.NewDataset(g) }
+
+// NewField allocates a zero-filled field with n values.
+func NewField(name string, n int) *Field { return grid.NewField(name, n) }
+
+// Contouring.
+type (
+	// Mesh is an indexed triangle mesh (3D contour output).
+	Mesh = contour.Mesh
+	// LineSet is an indexed polyline set (2D contour output).
+	LineSet = contour.LineSet
+)
+
+// MarchingTetrahedra extracts isosurfaces from a 3D grid.
+func MarchingTetrahedra(g *Grid, values []float32, isovalues []float64) (*Mesh, error) {
+	return contour.MarchingTetrahedra(g, values, isovalues)
+}
+
+// MarchingSquares extracts isolines from a 2D grid.
+func MarchingSquares(g *Grid, values []float32, isovalues []float64) (*LineSet, error) {
+	return contour.MarchingSquares(g, values, isovalues)
+}
+
+// MarchingTetrahedraGeom extracts isosurfaces over any grid geometry,
+// including rectilinear grids.
+func MarchingTetrahedraGeom(g Geometry, values []float32, isovalues []float64) (*Mesh, error) {
+	return contour.MarchingTetrahedraGeom(g, values, isovalues)
+}
+
+// MarchingTetrahedraParallel extracts isosurfaces with slab-parallel
+// workers, producing output bit-identical to the serial filter.
+// workers <= 0 uses GOMAXPROCS.
+func MarchingTetrahedraParallel(g Geometry, values []float32, isovalues []float64, workers int) (*Mesh, error) {
+	return contour.MarchingTetrahedraParallel(g, values, isovalues, workers)
+}
+
+// CellSet is the output of a threshold filter: kept cell indices.
+type CellSet = contour.CellSet
+
+// ThresholdCells keeps the cells with at least one corner value in
+// [lo, hi].
+func ThresholdCells(g *Grid, values []float32, lo, hi float64) (*CellSet, error) {
+	return contour.ThresholdCells(g, values, lo, hi)
+}
+
+// The split filter (the paper's contribution).
+type (
+	// PreFilter is the storage-side half of the split contour filter.
+	PreFilter = core.PreFilter
+	// PostFilter is the client-side half.
+	PostFilter = core.PostFilter
+	// PreFilterStats reports selection and size statistics.
+	PreFilterStats = core.PreFilterStats
+	// Payload is the encoded sparse subarray crossing the network.
+	Payload = core.Payload
+	// Encoding selects the payload wire format.
+	Encoding = core.Encoding
+	// NDPServer serves pre-filtered fetches on the storage node.
+	NDPServer = core.Server
+	// NDPClient drives a remote NDPServer.
+	NDPClient = core.Client
+	// NDPSource is a pipeline source backed by an NDPClient.
+	NDPSource = core.NDPSource
+	// FetchStats breaks down one pre-filtered fetch.
+	FetchStats = core.FetchStats
+)
+
+// Payload encodings.
+const (
+	EncAuto        = core.EncAuto
+	EncIndexValue  = core.EncIndexValue
+	EncBlockBitmap = core.EncBlockBitmap
+)
+
+// SplitContour runs pre-filter, wire round trip, and post-filter locally,
+// returning the contour and pre-filter statistics.
+func SplitContour(g *Grid, field *Field, isovalues []float64, enc Encoding) (*Mesh, *PreFilterStats, error) {
+	return core.SplitContour(g, field, isovalues, enc)
+}
+
+// NewNDPServer builds a storage-side NDP server over a filesystem of
+// dataset files (an os.DirFS or an s3fs view of an object store).
+func NewNDPServer(fsys fs.FS) *NDPServer { return core.NewServer(fsys) }
+
+// DialNDP connects to an NDP server, optionally through a shaped link's
+// Dial function.
+func DialNDP(addr string, dialFn func(network, addr string) (net.Conn, error)) (*NDPClient, error) {
+	return core.Dial(addr, dialFn)
+}
+
+// Pipelines.
+type (
+	// Pipeline is an ordered source -> filters -> sink chain.
+	Pipeline = pipeline.Pipeline
+	// Stage is one pipeline element.
+	Stage = pipeline.Stage
+	// FileSource loads selected arrays from a dataset file.
+	FileSource = pipeline.FileSource
+	// DatasetSource injects an in-memory dataset.
+	DatasetSource = pipeline.DatasetSource
+	// ContourFilter contours one array.
+	ContourFilter = pipeline.ContourFilter
+	// MultiContour contours several arrays from one input.
+	MultiContour = pipeline.MultiContour
+	// ThresholdFilter keeps cells with a corner value in range.
+	ThresholdFilter = pipeline.ThresholdFilter
+	// SliceFilter extracts an axis-aligned plane into a 2D dataset.
+	SliceFilter = pipeline.SliceFilter
+	// RangePreFilter is the storage-side half of the split threshold
+	// filter.
+	RangePreFilter = core.RangePreFilter
+	// Axis selects a slicing axis.
+	Axis = contour.Axis
+)
+
+// Slicing axes.
+const (
+	AxisX = contour.AxisX
+	AxisY = contour.AxisY
+	AxisZ = contour.AxisZ
+)
+
+// ExtractSlice copies the plane axis=index out of a 3D field as a 2D
+// grid and values.
+func ExtractSlice(g *Grid, values []float32, axis Axis, index int) (*Grid, []float32, error) {
+	return contour.ExtractSlice(g, values, axis, index)
+}
+
+// ThresholdFromPayload evaluates the threshold filter over an NDP
+// payload, matching a full-array evaluation exactly.
+func ThresholdFromPayload(g *Grid, p *Payload, lo, hi float64) (*CellSet, error) {
+	return core.ThresholdFromPayload(g, p, lo, hi)
+}
+
+// NewPipeline builds a pipeline from stages, source first.
+func NewPipeline(stages ...Stage) *Pipeline { return pipeline.New(stages...) }
+
+// SourceStageName is the stage whose elapsed time is the data load time.
+const SourceStageName = pipeline.SourceStageName
+
+// Storage and transport substrates.
+type (
+	// CompressionKind identifies raw, gzip, or lz4 storage.
+	CompressionKind = compress.Kind
+	// ObjectStore is the S3-style object server (MinIO stand-in).
+	ObjectStore = objstore.Server
+	// ObjectClient talks to an ObjectStore.
+	ObjectClient = objstore.Client
+	// BucketFS is a filesystem view of a bucket (s3fs stand-in).
+	BucketFS = s3fs.FS
+	// Link is a bandwidth/latency-shaped network link.
+	Link = netsim.Link
+	// WriteOptions configures dataset serialization.
+	WriteOptions = vtkio.WriteOptions
+	// DatasetReader reads stored datasets selectively.
+	DatasetReader = vtkio.Reader
+)
+
+// Compression kinds.
+const (
+	Raw  = compress.None
+	Gzip = compress.Gzip
+	LZ4  = compress.LZ4
+)
+
+// NewObjectStore returns an object store backed by a directory.
+func NewObjectStore(root string) (*ObjectStore, error) { return objstore.NewServer(root) }
+
+// NewObjectClient returns a client for the store at addr; dialFn may be
+// a shaped link's Dial or nil.
+func NewObjectClient(addr string, dialFn func(network, addr string) (net.Conn, error)) *ObjectClient {
+	return objstore.NewClient(addr, dialFn)
+}
+
+// NewBucketFS returns a filesystem view of one bucket.
+func NewBucketFS(client *ObjectClient, bucket string) *BucketFS {
+	return s3fs.New(client, bucket)
+}
+
+// NewLink returns a link with the given bits/sec capacity and latency.
+var NewLink = netsim.NewLink
+
+// GigabitEthernet returns the paper's 1 GbE testbed link.
+var GigabitEthernet = netsim.GigabitEthernet
+
+// WriteDatasetFile stores a dataset at path with optional compression.
+func WriteDatasetFile(path string, ds *Dataset, opts WriteOptions) error {
+	return vtkio.WriteFile(path, ds, opts)
+}
+
+// EncodeDataset serializes a dataset to bytes, e.g. for an object PUT.
+func EncodeDataset(ds *Dataset, opts WriteOptions) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := vtkio.Write(&buf, ds, opts); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// OpenDatasetFile opens a dataset file for selective reads; close the
+// second return value when done.
+func OpenDatasetFile(path string) (*DatasetReader, func() error, error) {
+	r, closer, err := vtkio.OpenFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, closer.Close, nil
+}
+
+// Dataset generators.
+type (
+	// AsteroidConfig parameterizes the deep-water impact generator.
+	AsteroidConfig = sim.AsteroidConfig
+	// NyxConfig parameterizes the cosmology snapshot generator.
+	NyxConfig = sim.NyxConfig
+)
+
+// NyxHaloThreshold is the baryon-density halo formation threshold.
+const NyxHaloThreshold = sim.NyxHaloThreshold
+
+// AsteroidMaxStep is the last asteroid timestep.
+const AsteroidMaxStep = sim.AsteroidMaxStep
+
+// GenerateAsteroid produces the 11-array deep-water impact dataset at
+// one timestep.
+func GenerateAsteroid(cfg AsteroidConfig, step int) (*Dataset, error) {
+	return cfg.Generate(step)
+}
+
+// GenerateNyx produces the 6-array cosmology dataset.
+func GenerateNyx(cfg NyxConfig) (*Dataset, error) { return cfg.Generate() }
+
+// Rendering.
+type (
+	// RenderOptions configures the software rasterizer.
+	RenderOptions = render.Options
+	// RenderLayer pairs a mesh with a display color.
+	RenderLayer = render.Layer
+)
+
+// RenderMesh rasterizes one mesh.
+func RenderMesh(m *Mesh, col color.RGBA, opts RenderOptions) (*image.RGBA, error) {
+	return render.Mesh(m, col, opts)
+}
+
+// RenderMeshes rasterizes several colored meshes into one frame.
+func RenderMeshes(layers []RenderLayer, opts RenderOptions) (*image.RGBA, error) {
+	return render.Meshes(layers, opts)
+}
+
+// RenderLines rasterizes a 2D contour.
+func RenderLines(ls *LineSet, col color.RGBA, opts RenderOptions) (*image.RGBA, error) {
+	return render.Lines(ls, col, opts)
+}
+
+// SavePNG writes an image to disk.
+func SavePNG(img image.Image, path string) error { return render.SavePNG(img, path) }
+
+// FormatBytes renders a byte count for reports.
+func FormatBytes(n int64) string { return stats.FormatBytes(n) }

@@ -1,0 +1,220 @@
+package vizndp
+
+import (
+	"context"
+	"image/color"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the quickstart
+// example does: generate, store, serve, fetch with NDP, contour, render.
+func TestFacadeEndToEnd(t *testing.T) {
+	ds, err := GenerateAsteroid(AsteroidConfig{N: 32, Seed: 1}, 24006)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Local split contour equals a plain contour.
+	field := ds.Field("v02")
+	full, err := MarchingTetrahedra(ds.Grid, field.Values, []float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, st, err := SplitContour(ds.Grid, field, []float64{0.1}, EncAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mesh.Equal(full) {
+		t.Fatal("split contour differs from full contour")
+	}
+	if st.PayloadBytes >= st.RawBytes {
+		t.Errorf("payload %d >= raw %d", st.PayloadBytes, st.RawBytes)
+	}
+
+	// Store a dataset file and serve it over NDP.
+	dir := t.TempDir()
+	if err := WriteDatasetFile(filepath.Join(dir, "ts0.vnd"), ds,
+		WriteOptions{Codec: LZ4}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewNDPServer(os.DirFS(dir))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	client, err := DialNDP(ln.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	src := &NDPSource{
+		Client:    client,
+		Path:      "ts0.vnd",
+		Arrays:    []string{"v02"},
+		Isovalues: []float64{0.1},
+	}
+	p := NewPipeline(src, &ContourFilter{Array: "v02", Isovalues: []float64{0.1}})
+	out, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(*Mesh)
+	if !got.Equal(full) {
+		t.Fatal("NDP pipeline contour differs from local contour")
+	}
+	if p.StageTime(SourceStageName) <= 0 {
+		t.Error("no data load time recorded")
+	}
+
+	// Render the result.
+	img, err := RenderMesh(got, color.RGBA{R: 40, G: 210, B: 210, A: 255},
+		RenderOptions{Width: 64, Height: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "contour.png")
+	if err := SavePNG(img, path); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Errorf("png not written: %v", err)
+	}
+}
+
+func TestFacade2D(t *testing.T) {
+	g := NewGrid(24, 24, 1)
+	ds := NewDataset(g)
+	f := NewField("d", g.NumPoints())
+	for j := 0; j < 24; j++ {
+		for i := 0; i < 24; i++ {
+			dx, dy := float64(i)-11.5, float64(j)-11.5
+			f.Values[g.PointIndex(i, j, 0)] = float32(math.Sqrt(dx*dx + dy*dy))
+		}
+	}
+	ds.MustAddField(f)
+	ls, err := MarchingSquares(g, f.Values, []float64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.NumSegments() == 0 {
+		t.Fatal("no segments")
+	}
+	img, err := RenderLines(ls, color.RGBA{G: 255, A: 255}, RenderOptions{Width: 48, Height: 48})
+	if err != nil || img == nil {
+		t.Fatalf("render lines: %v", err)
+	}
+}
+
+func TestFacadeObjectStore(t *testing.T) {
+	store, err := NewObjectStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, shutdown, err := store.ListenAndServe("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	client := NewObjectClient(addr, nil)
+	if err := client.Put("b", "k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	fsys := NewBucketFS(client, "b")
+	f, err := fsys.Open("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil || fi.Size() != 7 {
+		t.Errorf("stat = %v, %v", fi, err)
+	}
+}
+
+func TestFacadeLinks(t *testing.T) {
+	l := GigabitEthernet()
+	if l.BitsPerSec() != 1e9 {
+		t.Errorf("BitsPerSec = %v", l.BitsPerSec())
+	}
+	l2 := NewLink(2e9, 0)
+	if l2.TransferTime(250_000_000).Seconds() != 1 {
+		t.Errorf("TransferTime wrong")
+	}
+}
+
+func TestFacadeNyx(t *testing.T) {
+	ds, err := GenerateNyx(NyxConfig{N: 24, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := ds.Field("baryon_density")
+	if bd == nil {
+		t.Fatal("missing baryon_density")
+	}
+	_, hi := bd.Range()
+	if float64(hi) < NyxHaloThreshold {
+		t.Errorf("max density %v below threshold", hi)
+	}
+}
+
+func TestFacadeRectilinear(t *testing.T) {
+	coords := []float64{0, 0.5, 1.5, 3}
+	g := NewRectilinear(coords, coords, coords)
+	vals := make([]float32, g.NumPoints())
+	c := g.PointPosition(2, 2, 2)
+	for k := 0; k < 4; k++ {
+		for j := 0; j < 4; j++ {
+			for i := 0; i < 4; i++ {
+				vals[g.PointIndex(i, j, k)] = float32(g.PointPosition(i, j, k).Sub(c).Norm())
+			}
+		}
+	}
+	m, err := MarchingTetrahedraGeom(g, vals, []float64{1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTriangles() == 0 {
+		t.Error("no triangles on rectilinear grid")
+	}
+}
+
+func TestFacadeThreshold(t *testing.T) {
+	ds, err := GenerateAsteroid(AsteroidConfig{N: 24, Seed: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ThresholdCells(ds.Grid, ds.Field("v02").Values, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Count() == 0 {
+		t.Error("threshold found no interface cells")
+	}
+	// Split threshold equals full threshold.
+	pre := &RangePreFilter{Lo: 0.2, Hi: 0.8}
+	payload, _, err := pre.Run(ds.Grid, ds.Field("v02"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ThresholdFromPayload(ds.Grid, payload, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(cs) {
+		t.Error("split threshold differs from full")
+	}
+}
+
+func TestFormatBytesFacade(t *testing.T) {
+	if FormatBytes(2048) != "2.0KiB" {
+		t.Error("FormatBytes broken")
+	}
+}
