@@ -12,8 +12,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -37,9 +39,32 @@ func main() {
 		repeats = flag.Int("repeats", 0, "measurement repetitions (0 = config default)")
 		quick   = flag.Bool("quick", false, "use the small quick configuration")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut = flag.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
+		outFile = flag.String("o", "", "write results to this file instead of stdout")
 		dataDir = flag.String("data", "", "scratch directory for the object store (temp dir if empty)")
 	)
 	flag.Parse()
+
+	// Result destination. In -json mode every human-oriented line
+	// (progress, summary) moves to stderr so the document on the result
+	// stream stays parseable.
+	out := io.Writer(os.Stdout)
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		out = f
+	}
+	progress := io.Writer(os.Stdout)
+	if *jsonOut || *outFile != "" {
+		progress = os.Stderr
+	}
 
 	dir := *dataDir
 	if dir == "" {
@@ -75,7 +100,7 @@ func main() {
 	}
 	all := want["all"]
 
-	fmt.Printf("building testbed: %d^3 grids, %d timesteps, %g Gb/s link, %d repeats\n",
+	fmt.Fprintf(progress, "building testbed: %d^3 grids, %d timesteps, %g Gb/s link, %d repeats\n",
 		cfg.AsteroidN, cfg.NumTimesteps, cfg.LinkBits/netsim.Gbps, cfg.Repeats)
 	start := time.Now()
 	env, err := harness.NewEnv(cfg)
@@ -83,17 +108,23 @@ func main() {
 		log.Fatal(err)
 	}
 	defer env.Close()
-	fmt.Printf("testbed ready in %s\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(progress, "testbed ready in %s\n\n", time.Since(start).Round(time.Millisecond))
 
+	var collected []*stats.Table
 	show := func(t *stats.Table, err error) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *csv {
-			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+		if *jsonOut {
+			collected = append(collected, t)
+			fmt.Fprintf(progress, "done: %s\n", t.Title)
 			return
 		}
-		fmt.Println(t.String())
+		if *csv {
+			fmt.Fprintf(out, "# %s\n%s\n", t.Title, t.CSV())
+			return
+		}
+		fmt.Fprintln(out, t.String())
 	}
 
 	if all || want["fig1"] {
@@ -138,15 +169,27 @@ func main() {
 		show(env.AblationLossy([]float64{1.0, 0.1, 0.01}))
 	}
 
+	if *jsonOut {
+		doc := struct {
+			Config      harness.Config `json:"config"`
+			Experiments []*stats.Table `json:"experiments"`
+		}{Config: cfg, Experiments: collected}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	// A final sanity line mirroring the headline claim.
 	if all || want["tab2"] {
-		summarize(env)
+		summarize(env, progress)
 	}
 }
 
 // summarize prints the headline speedups like the paper's abstract: NDP
 // alone and NDP combined with compression, on the last contour value.
-func summarize(env *harness.Env) {
+func summarize(env *harness.Env, w io.Writer) {
 	step := env.Steps()[len(env.Steps())-1]
 	iso := env.Cfg.ContourValues[len(env.Cfg.ContourValues)-1]
 	base, err := env.BaselineLoad("asteroid", compress.None, step, "v03")
@@ -161,7 +204,7 @@ func summarize(env *harness.Env) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("headline (v03, iso %.1f, step %d): NDP alone %.2fx, LZ4+NDP %.2fx\n",
+	fmt.Fprintf(w, "headline (v03, iso %.1f, step %d): NDP alone %.2fx, LZ4+NDP %.2fx\n",
 		iso, step,
 		stats.Speedup(base.LoadTime, ndp.LoadTime),
 		stats.Speedup(base.LoadTime, combo.LoadTime))

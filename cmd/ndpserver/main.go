@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -23,6 +24,7 @@ import (
 	"vizndp/internal/netsim"
 	"vizndp/internal/objstore"
 	"vizndp/internal/s3fs"
+	"vizndp/internal/telemetry"
 )
 
 func main() {
@@ -30,14 +32,17 @@ func main() {
 	log.SetPrefix("ndpserver: ")
 
 	var (
-		addr    = flag.String("addr", "127.0.0.1:9100", "listen address")
-		dir     = flag.String("dir", "", "serve dataset files from this directory")
-		store   = flag.String("store", "", "object store address to mount instead of -dir")
-		bucket  = flag.String("bucket", "sim", "object store bucket")
-		gbps    = flag.Float64("gbps", 0, "shape client traffic to this many Gb/s (0 = unshaped)")
-		latency = flag.Duration("latency", 0, "one-way link latency to charge")
+		addr     = flag.String("addr", "127.0.0.1:9100", "listen address")
+		dir      = flag.String("dir", "", "serve dataset files from this directory")
+		store    = flag.String("store", "", "object store address to mount instead of -dir")
+		bucket   = flag.String("bucket", "sim", "object store bucket")
+		gbps     = flag.Float64("gbps", 0, "shape client traffic to this many Gb/s (0 = unshaped)")
+		latency  = flag.Duration("latency", 0, "one-way link latency to charge")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/trace, and pprof on this address")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	setLogLevel(*logLevel)
 
 	if (*dir == "") == (*store == "") {
 		log.Fatal("specify exactly one of -dir or -store")
@@ -61,6 +66,14 @@ func main() {
 		link := netsim.NewLink(*gbps*netsim.Gbps, *latency)
 		ln = link.Listener(ln)
 	}
+	if *telAddr != "" {
+		tbound, tshutdown, err := telemetry.ServeDebug(*telAddr, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tshutdown()
+		fmt.Printf("telemetry on http://%s/metrics\n", tbound)
+	}
 	fmt.Printf("NDP pre-filter service on %s", bound)
 	if *gbps > 0 {
 		fmt.Printf(" (shaped to %g Gb/s)", *gbps)
@@ -76,4 +89,13 @@ func main() {
 	if err := srv.Serve(ln); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// setLogLevel applies a -log-level flag value to the telemetry loggers.
+func setLogLevel(s string) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(s)); err != nil {
+		log.Fatalf("bad -log-level %q: %v", s, err)
+	}
+	telemetry.SetDefaultLogLevel(lvl)
 }

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -18,6 +19,7 @@ import (
 
 	"vizndp/internal/netsim"
 	"vizndp/internal/objstore"
+	"vizndp/internal/telemetry"
 )
 
 func main() {
@@ -25,12 +27,15 @@ func main() {
 	log.SetPrefix("objstored: ")
 
 	var (
-		root    = flag.String("root", "./objstore-data", "backing directory")
-		addr    = flag.String("addr", "127.0.0.1:9000", "listen address")
-		gbps    = flag.Float64("gbps", 0, "shape served traffic to this many Gb/s (0 = unshaped)")
-		latency = flag.Duration("latency", 0, "one-way link latency to charge")
+		root     = flag.String("root", "./objstore-data", "backing directory")
+		addr     = flag.String("addr", "127.0.0.1:9000", "listen address")
+		gbps     = flag.Float64("gbps", 0, "shape served traffic to this many Gb/s (0 = unshaped)")
+		latency  = flag.Duration("latency", 0, "one-way link latency to charge")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/trace, and pprof on this address")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	setLogLevel(*logLevel)
 
 	srv, err := objstore.NewServer(*root)
 	if err != nil {
@@ -45,6 +50,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *telAddr != "" {
+		tbound, tshutdown, err := telemetry.ServeDebug(*telAddr, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tshutdown()
+		fmt.Printf("telemetry on http://%s/metrics\n", tbound)
+	}
 	fmt.Printf("serving %s on %s", *root, bound)
 	if *gbps > 0 {
 		fmt.Printf(" (shaped to %g Gb/s)", *gbps)
@@ -57,4 +70,13 @@ func main() {
 	fmt.Println("shutting down")
 	shutdown()
 	time.Sleep(50 * time.Millisecond)
+}
+
+// setLogLevel applies a -log-level flag value to the telemetry loggers.
+func setLogLevel(s string) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(s)); err != nil {
+		log.Fatalf("bad -log-level %q: %v", s, err)
+	}
+	telemetry.SetDefaultLogLevel(lvl)
 }

@@ -22,9 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"image/color"
+	"io"
 	"io/fs"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -35,6 +37,7 @@ import (
 	"vizndp/internal/render"
 	"vizndp/internal/s3fs"
 	"vizndp/internal/stats"
+	"vizndp/internal/telemetry"
 )
 
 // layerColors cycles through display colors for multi-array renders
@@ -66,6 +69,7 @@ func main() {
 		renderOut = flag.String("render", "", "render the contours to this PNG file")
 		objOut    = flag.String("obj", "", "export the first contour mesh to this OBJ file")
 		repeats   = flag.Int("repeats", 1, "measurement repetitions")
+		verbose   = flag.Bool("v", false, "print the run's trace tree and metric deltas")
 	)
 	flag.Parse()
 
@@ -84,7 +88,7 @@ func main() {
 
 	if *filter == "threshold" {
 		if err := runThreshold(*mode, *dir, *store, *bucket, *ndpAddr, *path,
-			arrays, *loFlag, *hiFlag, enc, *repeats); err != nil {
+			arrays, *loFlag, *hiFlag, enc, *repeats, *verbose); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -135,8 +139,14 @@ func main() {
 	p := pipeline.New(source, &pipeline.MultiContour{Filters: filters})
 
 	var out any
+	var obs *observer
+	if *verbose {
+		obs = newObserver()
+	}
 	for r := 0; r < *repeats; r++ {
-		out, err = p.Run(context.Background())
+		ctx, end := obs.beginRun()
+		out, err = p.Run(ctx)
+		end()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -145,6 +155,7 @@ func main() {
 			stats.FormatDuration(p.StageTime(pipeline.SourceStageName)),
 			stats.FormatDuration(p.Total()))
 	}
+	obs.report(os.Stdout)
 
 	results := out.(map[string]any)
 	var layers []render.Layer
@@ -199,10 +210,77 @@ func main() {
 	}
 }
 
+// observer captures the trace and metric state around measured runs for
+// the -v report: one trace tree per run plus the metric deltas the runs
+// induced. A nil observer is inert, so call sites need no verbose checks.
+type observer struct {
+	before telemetry.Snapshot
+	traces []uint64
+}
+
+func newObserver() *observer {
+	return &observer{before: telemetry.Default().Snapshot()}
+}
+
+// beginRun starts a root span for one measured run and returns the
+// context to run under plus the func that ends the span.
+func (o *observer) beginRun() (context.Context, func()) {
+	if o == nil {
+		return context.Background(), func() {}
+	}
+	ctx, span := telemetry.StartSpan(context.Background(), "vizpipe")
+	o.traces = append(o.traces, span.Trace())
+	return ctx, span.End
+}
+
+// report prints each run's trace tree and the metric deltas the runs
+// induced, including spans and counters shipped back from the server.
+func (o *observer) report(w io.Writer) {
+	if o == nil {
+		return
+	}
+	tr := telemetry.DefaultTracer()
+	for i, trace := range o.traces {
+		fmt.Fprintf(w, "\ntrace for run %d:\n", i+1)
+		fmt.Fprint(w, telemetry.FormatTree(tr.TraceSpans(trace)))
+	}
+	fmt.Fprintf(w, "\nmetric deltas:\n")
+	printDeltas(w, o.before, telemetry.Default().Snapshot())
+}
+
+// printDeltas writes the metrics that changed between two snapshots.
+func printDeltas(w io.Writer, before, after telemetry.Snapshot) {
+	var lines []string
+	for name, v := range after.Counters {
+		if d := v - before.Counters[name]; d != 0 {
+			lines = append(lines, fmt.Sprintf("  %s +%d", name, d))
+		}
+	}
+	for name, v := range after.Gauges {
+		if v != before.Gauges[name] {
+			lines = append(lines, fmt.Sprintf("  %s %d -> %d", name, before.Gauges[name], v))
+		}
+	}
+	for name, h := range after.Histograms {
+		if d := h.Count - before.Histograms[name].Count; d != 0 {
+			lines = append(lines, fmt.Sprintf("  %s.count +%d (p50 %.4g, p95 %.4g)",
+				name, d, h.P50, h.P95))
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
 // runThreshold drives the split threshold filter in either mode.
 func runThreshold(mode, dir, store, bucket, ndpAddr, path string,
-	arrays []string, lo, hi float64, enc core.Encoding, repeats int) error {
+	arrays []string, lo, hi float64, enc core.Encoding, repeats int, verbose bool) error {
 
+	var obs *observer
+	if verbose {
+		obs = newObserver()
+	}
 	switch mode {
 	case "baseline":
 		var fsys fs.FS
@@ -220,7 +298,9 @@ func runThreshold(mode, dir, store, bucket, ndpAddr, path string,
 				&pipeline.ThresholdFilter{Array: array, Lo: lo, Hi: hi},
 			)
 			for r := 0; r < repeats; r++ {
-				out, err := p.Run(context.Background())
+				ctx, end := obs.beginRun()
+				out, err := p.Run(ctx)
+				end()
 				if err != nil {
 					return err
 				}
@@ -230,6 +310,7 @@ func runThreshold(mode, dir, store, bucket, ndpAddr, path string,
 					stats.FormatDuration(p.StageTime(pipeline.SourceStageName)))
 			}
 		}
+		obs.report(os.Stdout)
 		return nil
 	case "ndp":
 		if ndpAddr == "" {
@@ -246,7 +327,9 @@ func runThreshold(mode, dir, store, bucket, ndpAddr, path string,
 		}
 		for _, array := range arrays {
 			for r := 0; r < repeats; r++ {
-				payload, st, err := client.FetchRange(path, array, lo, hi, enc)
+				ctx, end := obs.beginRun()
+				payload, st, err := client.FetchRangeContext(ctx, path, array, lo, hi, enc)
+				end()
 				if err != nil {
 					return err
 				}
@@ -260,6 +343,7 @@ func runThreshold(mode, dir, store, bucket, ndpAddr, path string,
 					stats.FormatBytes(st.PayloadBytes), stats.FormatBytes(st.RawBytes))
 			}
 		}
+		obs.report(os.Stdout)
 		return nil
 	default:
 		return fmt.Errorf("unknown mode %q", mode)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"time"
@@ -39,7 +40,13 @@ func (c *Client) Close() error { return c.rpc.Close() }
 // List returns the entries under dir on the server's store; directories
 // carry a trailing slash.
 func (c *Client) List(dir string) ([]string, error) {
-	res, err := c.rpc.Call(MethodList, dir)
+	return c.ListContext(context.Background(), dir)
+}
+
+// ListContext is List under a caller context; a telemetry span in ctx
+// propagates to the server so its work joins the caller's trace.
+func (c *Client) ListContext(ctx context.Context, dir string) ([]string, error) {
+	res, err := c.rpc.CallContext(ctx, MethodList, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +94,12 @@ func (d *Description) Array(name string) *ArrayDesc {
 
 // Describe fetches a dataset file's metadata.
 func (c *Client) Describe(path string) (*Description, error) {
-	res, err := c.rpc.Call(MethodDescribe, path)
+	return c.DescribeContext(context.Background(), path)
+}
+
+// DescribeContext is Describe under a caller context.
+func (c *Client) DescribeContext(ctx context.Context, path string) (*Description, error) {
+	res, err := c.rpc.CallContext(ctx, MethodDescribe, path)
 	if err != nil {
 		return nil, err
 	}
@@ -171,12 +183,19 @@ type FetchStats struct {
 // FetchFiltered asks the server to pre-filter one array for the given
 // isovalues and returns the decoded payload.
 func (c *Client) FetchFiltered(path, array string, isovalues []float64, enc Encoding) (*Payload, *FetchStats, error) {
+	return c.FetchFilteredContext(context.Background(), path, array, isovalues, enc)
+}
+
+// FetchFilteredContext is FetchFiltered under a caller context; a
+// telemetry span in ctx makes the server's read and pre-filter spans
+// come back as part of the caller's trace.
+func (c *Client) FetchFilteredContext(ctx context.Context, path, array string, isovalues []float64, enc Encoding) (*Payload, *FetchStats, error) {
 	isos := make([]any, len(isovalues))
 	for i, v := range isovalues {
 		isos[i] = v
 	}
 	start := time.Now()
-	res, err := c.rpc.Call(MethodFetch, path, array, isos, enc.String())
+	res, err := c.rpc.CallContext(ctx, MethodFetch, path, array, isos, enc.String())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -186,8 +205,13 @@ func (c *Client) FetchFiltered(path, array string, isovalues []float64, enc Enco
 // FetchRange asks the server to pre-filter one array for a threshold
 // range [lo, hi] — the split threshold filter's remote half.
 func (c *Client) FetchRange(path, array string, lo, hi float64, enc Encoding) (*Payload, *FetchStats, error) {
+	return c.FetchRangeContext(context.Background(), path, array, lo, hi, enc)
+}
+
+// FetchRangeContext is FetchRange under a caller context.
+func (c *Client) FetchRangeContext(ctx context.Context, path, array string, lo, hi float64, enc Encoding) (*Payload, *FetchStats, error) {
 	start := time.Now()
-	res, err := c.rpc.Call(MethodFetchRange, path, array, lo, hi, enc.String())
+	res, err := c.rpc.CallContext(ctx, MethodFetchRange, path, array, lo, hi, enc.String())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -198,8 +222,13 @@ func (c *Client) FetchRange(path, array string, lo, hi float64, enc Encoding) (*
 // array and ship only that plane. It returns the slice's 2D grid, its
 // values, and the fetch statistics.
 func (c *Client) FetchSlice(path, array string, axis contour.Axis, index int) (*grid.Uniform, []float32, *FetchStats, error) {
+	return c.FetchSliceContext(context.Background(), path, array, axis, index)
+}
+
+// FetchSliceContext is FetchSlice under a caller context.
+func (c *Client) FetchSliceContext(ctx context.Context, path, array string, axis contour.Axis, index int) (*grid.Uniform, []float32, *FetchStats, error) {
 	start := time.Now()
-	res, err := c.rpc.Call(MethodFetchSlice, path, array, axis.String(), index)
+	res, err := c.rpc.CallContext(ctx, MethodFetchSlice, path, array, axis.String(), index)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -289,7 +318,12 @@ func decodeFetchResult(res any, total time.Duration) (*Payload, *FetchStats, err
 // FetchRaw pulls a whole array, bypassing the pre-filter. It is what the
 // baseline would transfer and exists for measurement and debugging.
 func (c *Client) FetchRaw(path, array string) ([]byte, time.Duration, error) {
-	res, err := c.rpc.Call(MethodFetchRaw, path, array)
+	return c.FetchRawContext(context.Background(), path, array)
+}
+
+// FetchRawContext is FetchRaw under a caller context.
+func (c *Client) FetchRawContext(ctx context.Context, path, array string) ([]byte, time.Duration, error) {
+	res, err := c.rpc.CallContext(ctx, MethodFetchRaw, path, array)
 	if err != nil {
 		return nil, 0, err
 	}

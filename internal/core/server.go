@@ -9,9 +9,27 @@ import (
 	"time"
 
 	"vizndp/internal/contour"
+	"vizndp/internal/grid"
 	"vizndp/internal/rpc"
+	"vizndp/internal/telemetry"
 	"vizndp/internal/vtkio"
 )
+
+// Server-side NDP metrics, reported to the default telemetry registry:
+// how many pre-filtered fetches ran, how much the pre-filter cut the
+// transfer, and where the server-side time went.
+var (
+	mFetchCount     = telemetry.Default().Counter("ndp.fetch.count")
+	mFetchErrors    = telemetry.Default().Counter("ndp.fetch.errors")
+	mFetchRawBytes  = telemetry.Default().Counter("ndp.fetch.bytes.raw")
+	mFetchPayload   = telemetry.Default().Counter("ndp.fetch.bytes.payload")
+	mFetchSelected  = telemetry.Default().Counter("ndp.fetch.points.selected")
+	mFetchReadSecs  = telemetry.Default().Histogram("ndp.fetch.read.seconds", telemetry.DurationBuckets)
+	mFetchFiltSecs  = telemetry.Default().Histogram("ndp.fetch.filter.seconds", telemetry.DurationBuckets)
+	mFetchSelectPPM = telemetry.Default().Gauge("ndp.fetch.selectivity.ppm")
+)
+
+var serverLog = telemetry.Logger("ndpserver")
 
 // RPC method names exposed by the NDP server.
 const (
@@ -145,10 +163,51 @@ func floatsToAny(v []float64) []any {
 	return out
 }
 
+// readArrayTimed reads one array under a "read" span, reporting the
+// storage read (+ decompression) time. The returned reader's header and
+// grid stay valid after the backing file is closed.
+func (s *Server) readArrayTimed(ctx context.Context, path, array string) (*vtkio.Reader, *grid.Field, time.Duration, error) {
+	_, span := telemetry.StartSpan(ctx, "read")
+	defer span.End()
+	span.SetAttr("path", path)
+	span.SetAttr("array", array)
+	start := time.Now()
+	r, closer, err := s.openReader(path)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		return nil, nil, 0, err
+	}
+	defer closer.Close()
+	field, err := r.ReadArray(array)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		return nil, nil, 0, err
+	}
+	readTime := time.Since(start)
+	mFetchReadSecs.Observe(readTime.Seconds())
+	return r, field, readTime, nil
+}
+
+// recordFetch reports one pre-filtered fetch to the metrics registry.
+func recordFetch(path, array string, st *PreFilterStats) {
+	mFetchCount.Inc()
+	mFetchRawBytes.Add(st.RawBytes)
+	mFetchPayload.Add(st.PayloadBytes)
+	mFetchSelected.Add(int64(st.SelectedPoints))
+	mFetchFiltSecs.Observe(st.FilterTime.Seconds())
+	mFetchSelectPPM.Set(int64(st.Selectivity() * 1e6))
+	serverLog.Debug("pre-filtered fetch",
+		"path", path, "array", array,
+		"selected", st.SelectedPoints,
+		"payloadBytes", st.PayloadBytes,
+		"rawBytes", st.RawBytes,
+		"filterTime", st.FilterTime)
+}
+
 // handleFetch runs the storage-side partial pipeline: read the array
 // (decompressing if stored compressed), run the pre-filter, and return
 // the encoded payload together with timing breakdowns.
-func (s *Server) handleFetch(_ context.Context, args []any) (any, error) {
+func (s *Server) handleFetch(ctx context.Context, args []any) (any, error) {
 	path, err := argString(args, 0, "path")
 	if err != nil {
 		return nil, err
@@ -183,23 +242,27 @@ func (s *Server) handleFetch(_ context.Context, args []any) (any, error) {
 		return nil, err
 	}
 
-	readStart := time.Now()
-	r, closer, err := s.openReader(path)
+	r, field, readTime, err := s.readArrayTimed(ctx, path, array)
 	if err != nil {
+		mFetchErrors.Inc()
 		return nil, err
 	}
-	defer closer.Close()
-	field, err := r.ReadArray(array)
-	if err != nil {
-		return nil, err
-	}
-	readTime := time.Since(readStart)
 
+	_, fspan := telemetry.StartSpan(ctx, "prefilter")
 	pre := &PreFilter{Isovalues: isovalues, Encoding: enc}
 	payload, stats, err := pre.Run(r.Grid(), field)
 	if err != nil {
+		fspan.SetAttr("error", err.Error())
+		fspan.End()
+		mFetchErrors.Inc()
 		return nil, err
 	}
+	fspan.SetAttr("array", array)
+	fspan.SetAttr("selected", stats.SelectedPoints)
+	fspan.SetAttr("payloadBytes", stats.PayloadBytes)
+	fspan.SetAttr("encoding", payload.Encoding.String())
+	fspan.End()
+	recordFetch(path, array, stats)
 	return map[string]any{
 		"payload":  payload.Data,
 		"readns":   int64(readTime),
@@ -211,7 +274,7 @@ func (s *Server) handleFetch(_ context.Context, args []any) (any, error) {
 
 // handleFetchRange runs the split threshold filter's storage half: read
 // the array and select every cell corner with a value in [lo, hi].
-func (s *Server) handleFetchRange(_ context.Context, args []any) (any, error) {
+func (s *Server) handleFetchRange(ctx context.Context, args []any) (any, error) {
 	path, err := argString(args, 0, "path")
 	if err != nil {
 		return nil, err
@@ -242,23 +305,26 @@ func (s *Server) handleFetchRange(_ context.Context, args []any) (any, error) {
 		return nil, err
 	}
 
-	readStart := time.Now()
-	r, closer, err := s.openReader(path)
+	r, field, readTime, err := s.readArrayTimed(ctx, path, array)
 	if err != nil {
+		mFetchErrors.Inc()
 		return nil, err
 	}
-	defer closer.Close()
-	field, err := r.ReadArray(array)
-	if err != nil {
-		return nil, err
-	}
-	readTime := time.Since(readStart)
 
+	_, fspan := telemetry.StartSpan(ctx, "prefilter.range")
 	pre := &RangePreFilter{Lo: lo, Hi: hi, Encoding: enc}
 	payload, stats, err := pre.Run(r.Grid(), field)
 	if err != nil {
+		fspan.SetAttr("error", err.Error())
+		fspan.End()
+		mFetchErrors.Inc()
 		return nil, err
 	}
+	fspan.SetAttr("array", array)
+	fspan.SetAttr("selected", stats.SelectedPoints)
+	fspan.SetAttr("payloadBytes", stats.PayloadBytes)
+	fspan.End()
+	recordFetch(path, array, stats)
 	return map[string]any{
 		"payload":  payload.Data,
 		"readns":   int64(readTime),
@@ -271,7 +337,7 @@ func (s *Server) handleFetchRange(_ context.Context, args []any) (any, error) {
 // handleFetchSlice runs the split slice filter's storage half: read the
 // array and extract exactly the requested plane, shipping it as a slice
 // payload — the near-perfect-reduction case for NDP.
-func (s *Server) handleFetchSlice(_ context.Context, args []any) (any, error) {
+func (s *Server) handleFetchSlice(ctx context.Context, args []any) (any, error) {
 	path, err := argString(args, 0, "path")
 	if err != nil {
 		return nil, err
@@ -296,24 +362,32 @@ func (s *Server) handleFetchSlice(_ context.Context, args []any) (any, error) {
 		return nil, fmt.Errorf("core: slice index is %T, want integer", args[3])
 	}
 
-	readStart := time.Now()
-	r, closer, err := s.openReader(path)
+	r, field, readTime, err := s.readArrayTimed(ctx, path, array)
 	if err != nil {
+		mFetchErrors.Inc()
 		return nil, err
 	}
-	defer closer.Close()
-	field, err := r.ReadArray(array)
-	if err != nil {
-		return nil, err
-	}
-	readTime := time.Since(readStart)
 
+	_, fspan := telemetry.StartSpan(ctx, "prefilter.slice")
 	filterStart := time.Now()
 	g2, vals, err := contour.ExtractSlice(r.Grid(), field.Values, axis, int(index64))
 	if err != nil {
+		fspan.SetAttr("error", err.Error())
+		fspan.End()
+		mFetchErrors.Inc()
 		return nil, err
 	}
 	filterTime := time.Since(filterStart)
+	fspan.SetAttr("array", array)
+	fspan.SetAttr("axis", axisName)
+	fspan.SetAttr("points", len(vals))
+	fspan.End()
+	payloadBytes := int64(4 * len(vals))
+	mFetchCount.Inc()
+	mFetchRawBytes.Add(int64(4 * field.Len()))
+	mFetchPayload.Add(payloadBytes)
+	mFetchSelected.Add(int64(len(vals)))
+	mFetchFiltSecs.Observe(filterTime.Seconds())
 
 	return map[string]any{
 		"dims":     []any{int64(g2.Dims.X), int64(g2.Dims.Y), int64(g2.Dims.Z)},
@@ -328,7 +402,7 @@ func (s *Server) handleFetchSlice(_ context.Context, args []any) (any, error) {
 
 // handleFetchRaw returns a whole array uncut — used for debugging and for
 // measuring what the transfer would have cost without the pre-filter.
-func (s *Server) handleFetchRaw(_ context.Context, args []any) (any, error) {
+func (s *Server) handleFetchRaw(ctx context.Context, args []any) (any, error) {
 	path, err := argString(args, 0, "path")
 	if err != nil {
 		return nil, err
@@ -337,18 +411,27 @@ func (s *Server) handleFetchRaw(_ context.Context, args []any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	_, span := telemetry.StartSpan(ctx, "read.raw")
+	defer span.End()
+	span.SetAttr("path", path)
+	span.SetAttr("array", array)
 	readStart := time.Now()
 	r, closer, err := s.openReader(path)
 	if err != nil {
+		span.SetAttr("error", err.Error())
 		return nil, err
 	}
 	defer closer.Close()
 	raw, err := r.ReadArrayBytes(array)
 	if err != nil {
+		span.SetAttr("error", err.Error())
 		return nil, err
 	}
+	readTime := time.Since(readStart)
+	mFetchReadSecs.Observe(readTime.Seconds())
+	span.SetAttr("bytes", len(raw))
 	return map[string]any{
 		"data":   raw,
-		"readns": int64(time.Since(readStart)),
+		"readns": int64(readTime),
 	}, nil
 }

@@ -39,7 +39,7 @@ func (s *NDPSource) Execute(ctx context.Context, _ any) (any, error) {
 	if len(s.Arrays) == 0 {
 		return nil, fmt.Errorf("core: NDPSource has no arrays selected")
 	}
-	desc, err := s.Client.Describe(s.Path)
+	desc, err := s.Client.DescribeContext(ctx, s.Path)
 	if err != nil {
 		return nil, fmt.Errorf("core: describe %s: %w", s.Path, err)
 	}
@@ -61,7 +61,7 @@ func (s *NDPSource) Execute(ctx context.Context, _ any) (any, error) {
 		wg.Add(1)
 		go func(i int, array string) {
 			defer wg.Done()
-			payload, stats, err := s.Client.FetchFiltered(s.Path, array, s.Isovalues, s.Encoding)
+			payload, stats, err := s.Client.FetchFilteredContext(ctx, s.Path, array, s.Isovalues, s.Encoding)
 			if err != nil {
 				results[i].err = fmt.Errorf("core: fetch %s/%s: %w", s.Path, array, err)
 				return

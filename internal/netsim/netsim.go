@@ -17,6 +17,18 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vizndp/internal/telemetry"
+)
+
+// Process-wide telemetry for all links: total shaped traffic and the
+// cumulative pacing delay the shaper actually induced (the time writers
+// spent sleeping to honor the modelled bandwidth).
+var (
+	mBytesSent    = telemetry.Default().Counter("netsim.bytes.sent")
+	mBytesRecv    = telemetry.Default().Counter("netsim.bytes.recv")
+	mDelayNanos   = telemetry.Default().Counter("netsim.delay.nanos")
+	mDialLatNanos = telemetry.Default().Counter("netsim.dial.latency.nanos")
 )
 
 // Common link presets. Bandwidth values are in bits per second to match
@@ -159,13 +171,15 @@ func (s *shapedConn) Write(b []byte) (int, error) {
 		// large enough to be worth it; the link's horizon carries small
 		// debts forward, so long-run throughput stays exact.
 		if deadline := s.link.reserve(len(chunk)); !deadline.IsZero() {
-			if time.Until(deadline) >= minSleep {
+			if wait := time.Until(deadline); wait >= minSleep {
 				sleepUntil(deadline)
+				mDelayNanos.Add(int64(wait))
 			}
 		}
 		n, err := s.Conn.Write(chunk)
 		total += n
 		s.link.sent.Add(int64(n))
+		mBytesSent.Add(int64(n))
 		if err != nil {
 			return total, err
 		}
@@ -177,6 +191,7 @@ func (s *shapedConn) Write(b []byte) (int, error) {
 func (s *shapedConn) Read(b []byte) (int, error) {
 	n, err := s.Conn.Read(b)
 	s.link.recv.Add(int64(n))
+	mBytesRecv.Add(int64(n))
 	return n, err
 }
 
@@ -207,6 +222,7 @@ func (l *Link) Dial(network, addr string) (net.Conn, error) {
 	}
 	if l.latency > 0 {
 		time.Sleep(l.latency)
+		mDialLatNanos.Add(int64(l.latency))
 	}
 	return l.Conn(c), nil
 }

@@ -67,6 +67,9 @@ func TestBandwidthAccuracy(t *testing.T) {
 	// should land within about 25% of it. Wall-clock tests can be blown
 	// off course by scheduler load (this box has one core), so allow a
 	// few attempts before declaring the pacing broken.
+	if raceEnabled {
+		t.Skip("race-detector instrumentation slows transfers ~3x, outside the pacing tolerance")
+	}
 	payload := make([]byte, 4<<20)
 	var last string
 	for attempt := 0; attempt < 4; attempt++ {

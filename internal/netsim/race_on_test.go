@@ -1,0 +1,8 @@
+//go:build race
+
+package netsim
+
+// raceEnabled reports whether this binary was built with the race
+// detector, whose instrumentation slows transfers far past the pacing
+// tolerances the wall-clock tests assert.
+const raceEnabled = true

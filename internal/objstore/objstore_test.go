@@ -140,9 +140,8 @@ func TestList(t *testing.T) {
 	if len(ts0) != 2 || ts0[0].Key != "ts0/v02" || ts0[0].Size != int64(len("ts0/v02")) {
 		t.Errorf("prefix listing = %+v", ts0)
 	}
-	empty, err := c.List("nope", "")
-	if err != nil || len(empty) != 0 {
-		t.Errorf("empty bucket listing = %v, %v", empty, err)
+	if _, err := c.List("nope", ""); !errors.Is(err, ErrNotFound) {
+		t.Errorf("listing missing bucket: err = %v, want ErrNotFound", err)
 	}
 }
 
@@ -380,5 +379,144 @@ func TestPutInvalidKeyDirect(t *testing.T) {
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("traversal DELETE status = %d", rec.Code)
+	}
+}
+
+// TestListBucketSemantics pins the two list outcomes apart: a bucket
+// that was never created is a 404 (NoSuchBucket), while an existing
+// bucket whose listing matches nothing is a 200 with an empty JSON
+// array.
+func TestListBucketSemantics(t *testing.T) {
+	s, err := NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/ghost?list=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing bucket list status = %d, want 404", resp.StatusCode)
+	}
+
+	c := NewClient(ts.Listener.Addr().String(), nil)
+	if err := c.Put("real", "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/real?list=1&prefix=zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("empty listing status = %d, want 200", resp.StatusCode)
+	}
+	if got := strings.TrimSpace(string(body)); got != "[]" {
+		t.Errorf("empty listing body = %q, want []", got)
+	}
+}
+
+// TestRangeStatusCodes pins the HTTP-level range semantics the s3fs
+// ReaderAt depends on: partial reads are 206 with a Content-Range, and
+// a range beyond the object is 416.
+func TestRangeStatusCodes(t *testing.T) {
+	s, err := NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := NewClient(ts.Listener.Addr().String(), nil)
+	data := []byte("0123456789abcdef")
+	if err := c.Put("b", "k", data); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(rangeHeader string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/b/k", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rangeHeader != "" {
+			req.Header.Set("Range", rangeHeader)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := get("bytes=4-7")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Errorf("partial status = %d, want 206", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Range"); got != "bytes 4-7/16" {
+		t.Errorf("Content-Range = %q, want bytes 4-7/16", got)
+	}
+	if string(body) != "4567" {
+		t.Errorf("partial body = %q", body)
+	}
+
+	resp = get("bytes=100-200")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Errorf("unsatisfiable status = %d, want 416", resp.StatusCode)
+	}
+
+	resp = get("")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != len(data) {
+		t.Errorf("full GET = %d, %d bytes", resp.StatusCode, len(body))
+	}
+}
+
+// TestHeadContentLength pins that HEAD reports the object's size without
+// a body — what Client.Stat and the s3fs mount use to size files.
+func TestHeadContentLength(t *testing.T) {
+	s, err := NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := NewClient(ts.Listener.Addr().String(), nil)
+	data := make([]byte, 12345)
+	if err := c.Put("b", "k", data); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Head(ts.URL + "/b/k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("HEAD status = %d", resp.StatusCode)
+	}
+	if resp.ContentLength != int64(len(data)) {
+		t.Errorf("Content-Length = %d, want %d", resp.ContentLength, len(data))
+	}
+	if len(body) != 0 {
+		t.Errorf("HEAD body = %d bytes, want none", len(body))
+	}
+
+	resp, err = http.Head(ts.URL + "/b/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("HEAD missing status = %d, want 404", resp.StatusCode)
 	}
 }

@@ -23,7 +23,56 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"vizndp/internal/telemetry"
 )
+
+// Server-side telemetry: request counts per operation, response status
+// classes, payload bytes in both directions, and per-operation latency
+// histograms. These are what `curl <telemetry-addr>/metrics` on
+// objstored reports.
+var (
+	mReqBytesIn  = telemetry.Default().Counter("objstore.bytes.in")
+	mReqBytesOut = telemetry.Default().Counter("objstore.bytes.out")
+	serverLog    = telemetry.Logger("objstore")
+)
+
+func opCounter(op string) *telemetry.Counter {
+	return telemetry.Default().Counter("objstore.requests." + op)
+}
+
+func statusCounter(code int) *telemetry.Counter {
+	return telemetry.Default().Counter(fmt.Sprintf("objstore.status.%d", code))
+}
+
+func opSeconds(op string) *telemetry.Histogram {
+	return telemetry.Default().Histogram("objstore.seconds."+op, telemetry.DurationBuckets)
+}
+
+// statusRecorder captures the status code and body bytes of a response
+// so ServeHTTP can account for them after the handler returns.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += int64(n)
+	return n, err
+}
 
 // ObjectInfo describes one stored object.
 type ObjectInfo struct {
@@ -85,6 +134,24 @@ func (s *Server) objectPath(bucket, key string) (string, error) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	trimmed := strings.TrimPrefix(r.URL.Path, "/")
 	bucket, key, hasKey := strings.Cut(trimmed, "/")
+
+	rec := &statusRecorder{ResponseWriter: w}
+	start := time.Now()
+	op := "other"
+	defer func() {
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		opCounter(op).Inc()
+		statusCounter(rec.status).Inc()
+		mReqBytesOut.Add(rec.bytes)
+		opSeconds(op).Observe(time.Since(start).Seconds())
+		serverLog.Debug("request",
+			"method", r.Method, "path", r.URL.Path,
+			"op", op, "status", rec.status, "bytes", rec.bytes)
+	}()
+	w = rec
+
 	if bucket == "" {
 		http.Error(w, "missing bucket", http.StatusBadRequest)
 		return
@@ -92,6 +159,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	if !hasKey || key == "" {
 		if r.Method == http.MethodGet && r.URL.Query().Has("list") {
+			op = "list"
 			s.handleList(w, r, bucket)
 			return
 		}
@@ -101,10 +169,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	switch r.Method {
 	case http.MethodPut:
+		op = "put"
 		s.handlePut(w, r, bucket, key)
 	case http.MethodGet, http.MethodHead:
+		op = "get"
+		if r.Method == http.MethodHead {
+			op = "head"
+		}
 		s.handleGet(w, r, bucket, key)
 	case http.MethodDelete:
+		op = "delete"
 		s.handleDelete(w, r, bucket, key)
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -127,7 +201,9 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, bucket, key s
 		return
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := io.Copy(tmp, r.Body); err != nil {
+	n, err := io.Copy(tmp, r.Body)
+	mReqBytesIn.Add(n)
+	if err != nil {
 		tmp.Close()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -193,7 +269,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request, bucket strin
 	}
 	prefix := r.URL.Query().Get("prefix")
 	dir := filepath.Join(s.root, bucket)
-	var objects []ObjectInfo
+	// A bucket that was never created is 404, like S3's NoSuchBucket; an
+	// existing bucket with no matching objects lists as an empty array.
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		http.Error(w, "no such bucket", http.StatusNotFound)
+		return
+	}
+	// Non-nil so an empty listing encodes as [], not null.
+	objects := []ObjectInfo{}
 	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
 			if errors.Is(err, os.ErrNotExist) {

@@ -1,16 +1,21 @@
 // Package pipeline models VTK-style visualization pipelines: a source
 // that introduces data, filters that transform it, and a sink that
-// consumes the result. Stages execute sequentially and the pipeline
-// records per-stage wall-clock timings, which is how the experiments
-// separate "data load time" (the source stage — the quantity every
-// figure in the paper reports) from downstream contour generation and
-// rendering time (which the paper excludes).
+// consumes the result. Stages execute sequentially and each stage runs
+// under a telemetry span, which is how the experiments separate "data
+// load time" (the source stage — the quantity every figure in the paper
+// reports) from downstream contour generation and rendering time (which
+// the paper excludes). When the caller's context already carries a
+// span (for example vizpipe -v), the stage spans — and, through the
+// instrumented RPC layer, the storage-side pre-filter spans — all join
+// that one trace.
 package pipeline
 
 import (
 	"context"
 	"fmt"
 	"time"
+
+	"vizndp/internal/telemetry"
 )
 
 // Stage is one pipeline element. Sources receive a nil input; filters
@@ -44,8 +49,8 @@ type Timing struct {
 
 // Pipeline is an ordered chain of stages.
 type Pipeline struct {
-	stages  []Stage
-	timings []Timing
+	stages []Stage
+	spans  []telemetry.SpanData
 }
 
 // New builds a pipeline from stages, in order: source first, sink last.
@@ -59,22 +64,29 @@ func (p *Pipeline) Append(s Stage) *Pipeline {
 	return p
 }
 
-// Run executes the pipeline and returns the final stage's output. Per-
-// stage timings are recorded and available from Timings until the next
-// Run.
+// Run executes the pipeline and returns the final stage's output. Each
+// stage runs under a span named after the stage, all parented to one
+// "pipeline" span; the finished span data doubles as the per-stage
+// timing record available from Timings until the next Run.
 func (p *Pipeline) Run(ctx context.Context) (any, error) {
 	if len(p.stages) == 0 {
 		return nil, fmt.Errorf("pipeline: no stages")
 	}
-	p.timings = p.timings[:0]
+	p.spans = p.spans[:0]
+	pctx, pspan := telemetry.StartSpan(ctx, "pipeline")
+	defer pspan.End()
 	var data any
 	for _, s := range p.stages {
-		if err := ctx.Err(); err != nil {
+		if err := pctx.Err(); err != nil {
 			return nil, err
 		}
-		start := time.Now()
-		out, err := s.Execute(ctx, data)
-		p.timings = append(p.timings, Timing{Stage: s.Name(), Elapsed: time.Since(start)})
+		sctx, span := telemetry.StartSpan(pctx, s.Name())
+		out, err := s.Execute(sctx, data)
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+		p.spans = append(p.spans, span.Data())
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: stage %q: %w", s.Name(), err)
 		}
@@ -83,19 +95,22 @@ func (p *Pipeline) Run(ctx context.Context) (any, error) {
 	return data, nil
 }
 
-// Timings returns the stage timings from the most recent Run.
+// Timings returns the stage timings from the most recent Run, derived
+// from the recorded stage spans.
 func (p *Pipeline) Timings() []Timing {
-	out := make([]Timing, len(p.timings))
-	copy(out, p.timings)
+	out := make([]Timing, 0, len(p.spans))
+	for _, d := range p.spans {
+		out = append(out, Timing{Stage: d.Name, Elapsed: d.Dur})
+	}
 	return out
 }
 
 // StageTime returns the elapsed time of the named stage in the most
 // recent Run, or 0 if the stage did not run.
 func (p *Pipeline) StageTime(name string) time.Duration {
-	for _, t := range p.timings {
-		if t.Stage == name {
-			return t.Elapsed
+	for _, d := range p.spans {
+		if d.Name == name {
+			return d.Dur
 		}
 	}
 	return 0
@@ -104,8 +119,8 @@ func (p *Pipeline) StageTime(name string) time.Duration {
 // Total returns the summed stage time of the most recent Run.
 func (p *Pipeline) Total() time.Duration {
 	var sum time.Duration
-	for _, t := range p.timings {
-		sum += t.Elapsed
+	for _, d := range p.spans {
+		sum += d.Dur
 	}
 	return sum
 }

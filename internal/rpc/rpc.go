@@ -9,6 +9,15 @@
 // the stream decoder trivial without changing any measured behaviour
 // (the prefix adds 4 bytes per message).
 //
+// Telemetry rides the same frames as optional trailing elements, so one
+// trace covers client -> server -> pre-filter: a traced request is
+// [0, msgid, method, params, tracectx] where tracectx is a
+// telemetry.Span wire context, and its response is
+// [1, msgid, error, result, spans] where spans are the server-side
+// telemetry spans finished while handling the request. Untraced peers
+// simply omit the fifth element, so both directions stay compatible
+// with plain msgpack-rpc endpoints.
+//
 // Clients multiplex concurrent calls over one connection; servers handle
 // each request in its own goroutine.
 package rpc
@@ -21,9 +30,29 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"vizndp/internal/msgpack"
+	"vizndp/internal/telemetry"
 )
+
+// Metrics reported to the default telemetry registry.
+var (
+	mClientCalls     = telemetry.Default().Counter("rpc.client.calls")
+	mClientErrors    = telemetry.Default().Counter("rpc.client.errors")
+	mClientSeconds   = telemetry.Default().Histogram("rpc.client.seconds", telemetry.DurationBuckets)
+	mClientBytesOut  = telemetry.Default().Counter("rpc.client.bytes.sent")
+	mClientBytesIn   = telemetry.Default().Counter("rpc.client.bytes.rcvd")
+	mServerRequests  = telemetry.Default().Counter("rpc.server.requests")
+	mServerErrors    = telemetry.Default().Counter("rpc.server.errors")
+	mServerSeconds   = telemetry.Default().Histogram("rpc.server.seconds", telemetry.DurationBuckets)
+	mServerBytesOut  = telemetry.Default().Counter("rpc.server.bytes.sent")
+	mServerBytesIn   = telemetry.Default().Counter("rpc.server.bytes.rcvd")
+	mServerInFlight  = telemetry.Default().Gauge("rpc.server.inflight")
+	mClientDiscarded = telemetry.Default().Counter("rpc.client.responses.discarded")
+)
+
+var logger = telemetry.Logger("rpc")
 
 // Message type tags from the msgpack-rpc spec.
 const (
@@ -178,8 +207,11 @@ func (s *Server) ServeConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		msgid, method, args, msgType, err := decodeIncoming(body)
+		mServerBytesIn.Add(int64(len(body) + 4))
+		msgid, method, args, msgType, wireCtx, err := decodeIncoming(body)
 		if err != nil {
+			logger.Warn("dropping connection on protocol error",
+				"remote", conn.RemoteAddr().String(), "err", err)
 			return // protocol error: drop the connection
 		}
 		if msgType == typeNotification {
@@ -195,15 +227,44 @@ func (s *Server) ServeConn(conn net.Conn) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			result, herr := s.dispatch(ctx, method, args)
-			resp, err := encodeResponse(msgid, herr, result)
+			mServerRequests.Inc()
+			mServerInFlight.Add(1)
+			defer mServerInFlight.Add(-1)
+
+			// Every request runs under a server span; a traced request
+			// additionally parents it under the caller's span and
+			// collects all spans finished while handling it so they can
+			// ride back in the response.
+			hctx := ctx
+			var collector *telemetry.SpanCollector
+			if trace, parent, ok := telemetry.ParseWireContext(wireCtx); ok {
+				hctx = telemetry.ContextWithRemoteParent(hctx, trace, parent)
+				hctx, collector = telemetry.WithCollector(hctx)
+			}
+			hctx, span := telemetry.StartSpan(hctx, "serve "+method)
+			start := time.Now()
+			result, herr := s.dispatch(hctx, method, args)
+			mServerSeconds.Observe(time.Since(start).Seconds())
+			if herr != nil {
+				mServerErrors.Inc()
+				span.SetAttr("error", herr.Error())
+				logger.Debug("handler error", "method", method, "err", herr)
+			}
+			span.End()
+			var spans []telemetry.SpanData
+			if collector != nil {
+				spans = collector.Drain()
+			}
+			resp, err := encodeResponse(msgid, herr, result, spans)
 			if err != nil {
 				resp, _ = encodeResponse(msgid,
-					fmt.Errorf("rpc: unencodable result: %v", err), nil)
+					fmt.Errorf("rpc: unencodable result: %v", err), nil, nil)
 			}
 			wmu.Lock()
 			defer wmu.Unlock()
-			_ = writeFrame(conn, resp)
+			if writeFrame(conn, resp) == nil {
+				mServerBytesOut.Add(int64(len(resp) + 4))
+			}
 		}()
 	}
 }
@@ -222,51 +283,61 @@ func (s *Server) dispatch(ctx context.Context, method string, args []any) (any, 
 	return h(ctx, args)
 }
 
-// decodeIncoming parses a request or notification frame.
-func decodeIncoming(body []byte) (msgid int64, method string, args []any, msgType int64, err error) {
+// decodeIncoming parses a request or notification frame. Requests may
+// carry an optional fifth element, the caller's trace context.
+func decodeIncoming(body []byte) (msgid int64, method string, args []any, msgType int64, wireCtx string, err error) {
 	d := msgpack.NewDecoder(body)
 	n, err := d.ReadArrayLen()
 	if err != nil {
-		return 0, "", nil, 0, err
+		return 0, "", nil, 0, "", err
 	}
 	msgType, err = d.ReadInt()
 	if err != nil {
-		return 0, "", nil, 0, err
+		return 0, "", nil, 0, "", err
 	}
 	switch msgType {
 	case typeRequest:
-		if n != 4 {
-			return 0, "", nil, 0, fmt.Errorf("rpc: request with %d elements", n)
+		if n != 4 && n != 5 {
+			return 0, "", nil, 0, "", fmt.Errorf("rpc: request with %d elements", n)
 		}
 		if msgid, err = d.ReadInt(); err != nil {
-			return 0, "", nil, 0, err
+			return 0, "", nil, 0, "", err
 		}
 	case typeNotification:
 		if n != 3 {
-			return 0, "", nil, 0, fmt.Errorf("rpc: notification with %d elements", n)
+			return 0, "", nil, 0, "", fmt.Errorf("rpc: notification with %d elements", n)
 		}
 	default:
-		return 0, "", nil, 0, fmt.Errorf("rpc: unexpected message type %d", msgType)
+		return 0, "", nil, 0, "", fmt.Errorf("rpc: unexpected message type %d", msgType)
 	}
 	if method, err = d.ReadString(); err != nil {
-		return 0, "", nil, 0, err
+		return 0, "", nil, 0, "", err
 	}
 	nargs, err := d.ReadArrayLen()
 	if err != nil {
-		return 0, "", nil, 0, err
+		return 0, "", nil, 0, "", err
 	}
 	args = make([]any, nargs)
 	for i := range args {
 		if args[i], err = d.ReadAny(); err != nil {
-			return 0, "", nil, 0, err
+			return 0, "", nil, 0, "", err
 		}
 	}
-	return msgid, method, args, msgType, nil
+	if msgType == typeRequest && n == 5 {
+		if wireCtx, err = d.ReadString(); err != nil {
+			return 0, "", nil, 0, "", err
+		}
+	}
+	return msgid, method, args, msgType, wireCtx, nil
 }
 
-func encodeResponse(msgid int64, herr error, result any) ([]byte, error) {
+func encodeResponse(msgid int64, herr error, result any, spans []telemetry.SpanData) ([]byte, error) {
 	e := msgpack.NewEncoder(256)
-	e.PutArrayLen(4)
+	if len(spans) > 0 {
+		e.PutArrayLen(5)
+	} else {
+		e.PutArrayLen(4)
+	}
 	e.PutInt(typeResponse)
 	e.PutInt(msgid)
 	if herr != nil {
@@ -276,6 +347,15 @@ func encodeResponse(msgid int64, herr error, result any) ([]byte, error) {
 	}
 	if err := e.PutAny(result); err != nil {
 		return nil, err
+	}
+	if len(spans) > 0 {
+		wire := make([]any, len(spans))
+		for i, d := range spans {
+			wire[i] = d.ToWire()
+		}
+		if err := e.PutAny(wire); err != nil {
+			return nil, err
+		}
 	}
 	return e.Bytes(), nil
 }
@@ -296,6 +376,7 @@ type Client struct {
 type response struct {
 	result any
 	err    error
+	spans  []telemetry.SpanData // server-side spans from a traced call
 }
 
 // NewClient starts a client over an established connection.
@@ -338,10 +419,17 @@ func (c *Client) readLoop() {
 			loopErr = err
 			break
 		}
+		mClientBytesIn.Add(int64(len(body) + 4))
 		msgid, resp, err := decodeResponse(body)
 		if err != nil {
 			loopErr = err
 			break
+		}
+		// Import server-side spans into the local ring before delivering
+		// the response, so a caller dumping the trace right after the
+		// call completes sees the whole tree.
+		for _, d := range resp.spans {
+			telemetry.DefaultTracer().Record(d)
 		}
 		c.mu.Lock()
 		ch := c.pending[msgid]
@@ -349,6 +437,9 @@ func (c *Client) readLoop() {
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- resp
+		} else {
+			mClientDiscarded.Inc()
+			logger.Debug("discarding response for unknown msgid", "msgid", msgid)
 		}
 	}
 	c.mu.Lock()
@@ -366,7 +457,7 @@ func (c *Client) readLoop() {
 func decodeResponse(body []byte) (int64, response, error) {
 	d := msgpack.NewDecoder(body)
 	n, err := d.ReadArrayLen()
-	if err != nil || n != 4 {
+	if err != nil || (n != 4 && n != 5) {
 		return 0, response{}, fmt.Errorf("rpc: bad response header (n=%d, err=%v)", n, err)
 	}
 	t, err := d.ReadInt()
@@ -390,6 +481,19 @@ func decodeResponse(body []byte) (int64, response, error) {
 	if resp.result, err = d.ReadAny(); err != nil {
 		return 0, response{}, err
 	}
+	if n == 5 {
+		raw, err := d.ReadAny()
+		if err != nil {
+			return 0, response{}, err
+		}
+		if items, ok := raw.([]any); ok {
+			for _, it := range items {
+				if sd, ok := telemetry.SpanDataFromWire(it); ok {
+					resp.spans = append(resp.spans, sd)
+				}
+			}
+		}
+	}
 	return msgid, resp, nil
 }
 
@@ -397,8 +501,31 @@ func decodeResponse(body []byte) (int64, response, error) {
 // context's cancellation, or its deadline — whichever comes first. A
 // cancelled call abandons its pending slot; the connection stays usable
 // and a late reply for that id is discarded by the read loop.
+//
+// When ctx carries a telemetry span, the call runs under a child span
+// whose identity is injected into the request frame, so server-side
+// spans join the caller's trace and come back in the response.
 func (c *Client) CallContext(ctx context.Context, method string, args ...any) (any, error) {
-	ch, msgid, err := c.send(method, args)
+	var span *telemetry.Span
+	wireCtx := ""
+	if telemetry.SpanFromContext(ctx) != nil {
+		_, span = telemetry.StartSpan(ctx, "call "+method)
+		wireCtx = span.WireContext()
+	}
+	mClientCalls.Inc()
+	start := time.Now()
+	result, err := c.callWire(ctx, method, args, wireCtx)
+	mClientSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		mClientErrors.Inc()
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	return result, err
+}
+
+func (c *Client) callWire(ctx context.Context, method string, args []any, wireCtx string) (any, error) {
+	ch, msgid, err := c.send(method, args, wireCtx)
 	if err != nil {
 		return nil, err
 	}
@@ -413,16 +540,11 @@ func (c *Client) CallContext(ctx context.Context, method string, args ...any) (a
 
 // Call invokes method with args and waits for the result.
 func (c *Client) Call(method string, args ...any) (any, error) {
-	ch, _, err := c.send(method, args)
-	if err != nil {
-		return nil, err
-	}
-	resp := <-ch
-	return resp.result, resp.err
+	return c.CallContext(context.Background(), method, args...)
 }
 
 // send registers a pending call and writes the request frame.
-func (c *Client) send(method string, args []any) (chan response, int64, error) {
+func (c *Client) send(method string, args []any, wireCtx string) (chan response, int64, error) {
 	c.mu.Lock()
 	if c.closed {
 		err := c.err
@@ -438,7 +560,7 @@ func (c *Client) send(method string, args []any) (chan response, int64, error) {
 	c.pending[msgid] = ch
 	c.mu.Unlock()
 
-	body, err := encodeRequest(msgid, method, args)
+	body, err := encodeRequest(msgid, method, args, wireCtx)
 	if err != nil {
 		c.abandon(msgid)
 		return nil, 0, err
@@ -450,6 +572,7 @@ func (c *Client) send(method string, args []any) (chan response, int64, error) {
 		c.abandon(msgid)
 		return nil, 0, err
 	}
+	mClientBytesOut.Add(int64(len(body) + 4))
 	return ch, msgid, nil
 }
 
@@ -476,9 +599,13 @@ func (c *Client) abandon(msgid int64) {
 	c.mu.Unlock()
 }
 
-func encodeRequest(msgid int64, method string, args []any) ([]byte, error) {
+func encodeRequest(msgid int64, method string, args []any, wireCtx string) ([]byte, error) {
 	e := msgpack.NewEncoder(256)
-	e.PutArrayLen(4)
+	if wireCtx != "" {
+		e.PutArrayLen(5)
+	} else {
+		e.PutArrayLen(4)
+	}
 	e.PutInt(typeRequest)
 	e.PutInt(msgid)
 	e.PutString(method)
@@ -487,6 +614,9 @@ func encodeRequest(msgid int64, method string, args []any) ([]byte, error) {
 		if err := e.PutAny(a); err != nil {
 			return nil, err
 		}
+	}
+	if wireCtx != "" {
+		e.PutString(wireCtx)
 	}
 	return e.Bytes(), nil
 }

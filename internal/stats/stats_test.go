@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -107,5 +108,59 @@ func TestTableNoTitle(t *testing.T) {
 	tab.AddRow("x")
 	if strings.Contains(tab.String(), "==") {
 		t.Error("unexpected title markers")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single", []float64{42}, 0.99, 42},
+		{"median-odd", []float64{3, 1, 2}, 0.5, 2},
+		{"median-even-interpolated", []float64{1, 2, 3, 4}, 0.5, 2.5},
+		{"p25-interpolated", []float64{0, 10}, 0.25, 2.5},
+		{"p95-interpolated", []float64{10, 20, 30, 40, 50}, 0.95, 48},
+		{"p0-is-min", []float64{5, -2, 9}, 0, -2},
+		{"p100-is-max", []float64{5, -2, 9}, 1, 9},
+		{"p-below-range-clamps", []float64{1, 2}, -0.5, 1},
+		{"p-above-range-clamps", []float64{1, 2}, 1.5, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Percentile(tc.xs, tc.p); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", tc.xs, tc.p, got, tc.want)
+			}
+		})
+	}
+	// Percentile must not reorder the caller's slice.
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 0},
+		{"constant", []float64{4, 4, 4, 4}, 0},
+		{"known", []float64{2, 4, 4, 4, 5, 5, 7, 9}, 2},
+		{"pair", []float64{-1, 1}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := StdDev(tc.xs); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("StdDev(%v) = %v, want %v", tc.xs, got, tc.want)
+			}
+		})
 	}
 }

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler serves the operational endpoints for one process:
+//
+//	/metrics       flat text dump of the registry (name value lines)
+//	/metrics.json  the same as JSON
+//	/debug/trace   JSON array of the tracer's retained spans
+//	/debug/trace.txt  the spans rendered as indented trace trees
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// Pass nil to use the process-wide default registry and tracer.
+func DebugHandler(reg *Registry, tr *Tracer) http.Handler {
+	if reg == nil {
+		reg = Default()
+	}
+	if tr == nil {
+		tr = DefaultTracer()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		spans := tr.Spans()
+		for i := range spans {
+			spans[i].fillHex()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(spans)
+	})
+	mux.HandleFunc("/debug/trace.txt", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(FormatTree(tr.Spans())))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug endpoints on addr and returns the bound
+// address and a shutdown func. Pass nil registry/tracer for the process
+// defaults.
+func ServeDebug(addr string, reg *Registry, tr *Tracer) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler(reg, tr)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}
