@@ -32,11 +32,12 @@ func main() {
 	log.SetPrefix("benchviz: ")
 
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: fig1,fig5,fig6,fig13,tab2,fig14,ablations,e2e,lossy,slice or all")
+		exp     = flag.String("exp", "all", "comma-separated experiments: fig1,fig5,fig6,fig13,tab2,fig14,ablations,e2e,lossy,slice,repeat or all")
 		n       = flag.Int("n", 0, "asteroid/nyx grid edge length (0 = config default)")
 		steps   = flag.Int("steps", 0, "asteroid timesteps (0 = config default)")
 		gbps    = flag.Float64("gbps", 0, "inter-node link capacity in Gb/s (0 = config default)")
 		repeats = flag.Int("repeats", 0, "measurement repetitions (0 = config default)")
+		cacheB  = flag.Int64("cache-bytes", 0, "repeat experiment: array cache budget in bytes (0 = config default)")
 		quick   = flag.Bool("quick", false, "use the small quick configuration")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut = flag.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
@@ -92,6 +93,9 @@ func main() {
 	}
 	if *repeats > 0 {
 		cfg.Repeats = *repeats
+	}
+	if *cacheB > 0 {
+		cfg.CacheBytes = *cacheB
 	}
 
 	want := map[string]bool{}
@@ -167,6 +171,12 @@ func main() {
 	}
 	if all || want["lossy"] {
 		show(env.AblationLossy([]float64{1.0, 0.1, 0.01}))
+	}
+	if all || want["repeat"] {
+		step := env.Steps()[0]
+		for _, codec := range harness.Codecs {
+			show(env.RepeatFetch("asteroid", codec, step, "v03"))
+		}
 	}
 
 	if *jsonOut {

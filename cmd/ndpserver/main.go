@@ -36,6 +36,7 @@ func main() {
 		dir      = flag.String("dir", "", "serve dataset files from this directory")
 		store    = flag.String("store", "", "object store address to mount instead of -dir")
 		bucket   = flag.String("bucket", "sim", "object store bucket")
+		cacheB   = flag.Int64("cache-bytes", 0, "decoded-array cache budget in bytes (0 = off)")
 		gbps     = flag.Float64("gbps", 0, "shape client traffic to this many Gb/s (0 = unshaped)")
 		latency  = flag.Duration("latency", 0, "one-way link latency to charge")
 		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/trace, and pprof on this address")
@@ -56,7 +57,7 @@ func main() {
 		fsys = s3fs.New(objstore.NewClient(*store, nil), *bucket)
 	}
 
-	srv := core.NewServer(fsys)
+	srv := core.NewServer(fsys, core.WithCacheBytes(*cacheB))
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -77,6 +78,9 @@ func main() {
 	fmt.Printf("NDP pre-filter service on %s", bound)
 	if *gbps > 0 {
 		fmt.Printf(" (shaped to %g Gb/s)", *gbps)
+	}
+	if *cacheB > 0 {
+		fmt.Printf(" (array cache %d bytes)", *cacheB)
 	}
 	fmt.Println()
 

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"vizndp/internal/contour"
 	"vizndp/internal/core"
@@ -68,6 +69,8 @@ func main() {
 		encName   = flag.String("encoding", "auto", "ndp payload encoding: auto, indexvalue, blockbitmap")
 		renderOut = flag.String("render", "", "render the contours to this PNG file")
 		objOut    = flag.String("obj", "", "export the first contour mesh to this OBJ file")
+		sweep     = flag.Bool("sweep", false, "ndp: fetch every (array, isovalue) pair as its own concurrent request")
+		parallel  = flag.Int("parallel", 0, "sweep: max in-flight requests (0 = library default)")
 		repeats   = flag.Int("repeats", 1, "measurement repetitions")
 		verbose   = flag.Bool("v", false, "print the run's trace tree and metric deltas")
 	)
@@ -86,6 +89,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *sweep {
+		if *mode != "ndp" || *ndpAddr == "" {
+			log.Fatal("-sweep needs -mode ndp and an -ndp address")
+		}
+		if err := runSweep(*ndpAddr, *path, arrays, isovalues, enc,
+			*parallel, *repeats); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *filter == "threshold" {
 		if err := runThreshold(*mode, *dir, *store, *bucket, *ndpAddr, *path,
 			arrays, *loFlag, *hiFlag, enc, *repeats, *verbose); err != nil {
@@ -271,6 +284,54 @@ func printDeltas(w io.Writer, before, after telemetry.Snapshot) {
 	for _, l := range lines {
 		fmt.Fprintln(w, l)
 	}
+}
+
+// runSweep fans one request per (array, isovalue) pair out over the
+// multiplexed connection with FetchFilteredMulti and reports per-request
+// and aggregate costs. Against a server with the array cache enabled,
+// requests sharing an array coalesce into a single storage read.
+func runSweep(ndpAddr, path string, arrays []string, isovalues []float64,
+	enc core.Encoding, parallel, repeats int) error {
+
+	client, err := core.Dial(ndpAddr, nil)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	reqs := make([]core.MultiRequest, 0, len(arrays)*len(isovalues))
+	for _, a := range arrays {
+		for _, iso := range isovalues {
+			reqs = append(reqs, core.MultiRequest{
+				Path: path, Array: a, Isovalues: []float64{iso}, Encoding: enc,
+			})
+		}
+	}
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		results := client.FetchFilteredMulti(reqs, parallel)
+		wall := time.Since(start)
+
+		var moved, raw int64
+		for i, res := range results {
+			req := reqs[i]
+			if res.Err != nil {
+				return fmt.Errorf("fetch %s/%s iso %g: %w",
+					req.Path, req.Array, req.Isovalues[0], res.Err)
+			}
+			moved += res.Stats.PayloadBytes
+			raw = res.Stats.RawBytes
+			fmt.Printf("array %s iso %g: %d points, %s moved, read %s, total %s\n",
+				req.Array, req.Isovalues[0], res.Stats.SelectedPoints,
+				stats.FormatBytes(res.Stats.PayloadBytes),
+				stats.FormatDuration(res.Stats.ReadTime),
+				stats.FormatDuration(res.Stats.TotalTime))
+		}
+		fmt.Printf("sweep %d: %d fetches in %s, moved %s (one raw array is %s)\n",
+			r+1, len(reqs), stats.FormatDuration(wall),
+			stats.FormatBytes(moved), stats.FormatBytes(raw))
+	}
+	return nil
 }
 
 // runThreshold drives the split threshold filter in either mode.

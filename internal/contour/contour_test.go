@@ -699,3 +699,42 @@ func BenchmarkMarchingTetrahedraParallel64(b *testing.B) {
 		}
 	}
 }
+
+// TestParallelThinSlabs pins the worker-clamp edge cases: more workers
+// than cell layers must clamp without duplicating slab work, and a
+// single cell layer (Z=2) must fall back to the serial filter. Both
+// must stay bit-identical to serial output.
+func TestParallelThinSlabs(t *testing.T) {
+	cases := []struct {
+		nz      int
+		workers int
+	}{
+		{3, 8},  // cellLayers=2, workers clamp 8 -> 2
+		{2, 8},  // cellLayers=1: serial fallback
+		{2, 1},  // workers <= 1: serial path regardless
+		{4, 64}, // clamp far past layer count
+	}
+	for _, tc := range cases {
+		g := grid.NewUniform(12, 10, tc.nz)
+		vals := make([]float32, g.NumPoints())
+		for i := range vals {
+			x, y, z := i%12, (i/12)%10, i/(12*10)
+			vals[i] = float32(x+y)*0.5 + float32(z)*2
+		}
+		serial, err := MarchingTetrahedra(g, vals, []float64{3.5, 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := MarchingTetrahedraParallel(g, vals, []float64{3.5, 6}, tc.workers)
+		if err != nil {
+			t.Fatalf("nz=%d workers=%d: %v", tc.nz, tc.workers, err)
+		}
+		if !par.Equal(serial) {
+			t.Errorf("nz=%d workers=%d: parallel mesh not bit-identical to serial (%d vs %d tris)",
+				tc.nz, tc.workers, par.NumTriangles(), serial.NumTriangles())
+		}
+		if tc.nz > 2 && par.NumTriangles() == 0 {
+			t.Errorf("nz=%d: degenerate empty mesh", tc.nz)
+		}
+	}
+}

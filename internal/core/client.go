@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"vizndp/internal/contour"
@@ -200,6 +201,69 @@ func (c *Client) FetchFilteredContext(ctx context.Context, path, array string, i
 		return nil, nil, err
 	}
 	return decodeFetchResult(res, time.Since(start))
+}
+
+// MultiRequest names one pre-filtered fetch in a FetchFilteredMulti
+// fan-out: one array of one file, filtered at the given isovalues.
+type MultiRequest struct {
+	Path      string
+	Array     string
+	Isovalues []float64
+	Encoding  Encoding
+}
+
+// MultiResult is the outcome of one MultiRequest. When Err is nil,
+// Payload and Stats are valid.
+type MultiResult struct {
+	Payload *Payload
+	Stats   *FetchStats
+	Err     error
+}
+
+// DefaultMultiParallelism bounds a FetchFilteredMulti's in-flight
+// requests when the caller passes parallelism <= 0.
+const DefaultMultiParallelism = 8
+
+// FetchFilteredMulti issues many pre-filtered fetches concurrently over
+// the one multiplexed RPC connection and returns the results in request
+// order. At most parallelism requests are in flight at once (<= 0 uses
+// DefaultMultiParallelism). Failures are reported per-request rather
+// than failing the batch, so one bad array name doesn't discard the
+// sibling payloads; with the server's array cache enabled, concurrent
+// requests against the same array coalesce into a single storage read.
+func (c *Client) FetchFilteredMulti(reqs []MultiRequest, parallelism int) []MultiResult {
+	return c.FetchFilteredMultiContext(context.Background(), reqs, parallelism)
+}
+
+// FetchFilteredMultiContext is FetchFilteredMulti under a caller
+// context; cancelling ctx fails the not-yet-issued requests.
+func (c *Client) FetchFilteredMultiContext(ctx context.Context, reqs []MultiRequest, parallelism int) []MultiResult {
+	if parallelism <= 0 {
+		parallelism = DefaultMultiParallelism
+	}
+	if parallelism > len(reqs) {
+		parallelism = len(reqs)
+	}
+	results := make([]MultiResult, len(reqs))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				results[i].Err = err
+				return
+			}
+			r := &reqs[i]
+			results[i].Payload, results[i].Stats, results[i].Err =
+				c.FetchFilteredContext(ctx, r.Path, r.Array, r.Isovalues, r.Encoding)
+		}(i)
+	}
+	wg.Wait()
+	return results
 }
 
 // FetchRange asks the server to pre-filter one array for a threshold

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"vizndp/internal/contour"
+	"vizndp/internal/rpc"
+	"vizndp/internal/vtkio"
+)
+
+// validPayloadBytes builds encoded payload bytes the decoder accepts.
+func validPayloadBytes(t *testing.T) []byte {
+	t.Helper()
+	g, f := sphereField(8)
+	pre := &PreFilter{Isovalues: []float64{3}, Encoding: EncIndexValue}
+	payload, _, err := pre.Run(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload.Data
+}
+
+func TestDecodeFetchResultMissingOptionalKeys(t *testing.T) {
+	data := validPayloadBytes(t)
+	total := 100 * time.Millisecond
+
+	// Only the payload key: all server-side timings default to zero and
+	// the whole client-observed time is attributed to transfer.
+	payload, st, err := decodeFetchResult(map[string]any{"payload": data}, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload == nil || len(payload.Data) == 0 {
+		t.Fatal("payload not decoded")
+	}
+	if st.ReadTime != 0 || st.FilterTime != 0 {
+		t.Errorf("missing timing keys decoded to %v/%v, want 0/0", st.ReadTime, st.FilterTime)
+	}
+	if st.TransferTime != total {
+		t.Errorf("TransferTime = %v, want full total %v", st.TransferTime, total)
+	}
+	if st.TotalTime != total {
+		t.Errorf("TotalTime = %v, want %v", st.TotalTime, total)
+	}
+	if st.RawBytes != 0 || st.SelectedPoints != 0 {
+		t.Errorf("missing size keys decoded to %d/%d, want 0/0", st.RawBytes, st.SelectedPoints)
+	}
+	if st.PayloadBytes <= 0 {
+		t.Error("PayloadBytes not derived from the payload itself")
+	}
+}
+
+func TestDecodeFetchResultClampsTransferTime(t *testing.T) {
+	data := validPayloadBytes(t)
+	// Server-reported work exceeds the client-observed total (clock skew,
+	// coarse timers): TransferTime must clamp at zero, never negative.
+	res := map[string]any{
+		"payload":  data,
+		"readns":   int64(80 * time.Millisecond),
+		"filterns": int64(40 * time.Millisecond),
+	}
+	_, st, err := decodeFetchResult(res, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TransferTime != 0 {
+		t.Errorf("TransferTime = %v, want clamped 0", st.TransferTime)
+	}
+	if st.ReadTime != 80*time.Millisecond || st.FilterTime != 40*time.Millisecond {
+		t.Errorf("server timings mangled: %v/%v", st.ReadTime, st.FilterTime)
+	}
+}
+
+func TestDecodeFetchResultBadShapes(t *testing.T) {
+	if _, _, err := decodeFetchResult("nope", time.Second); err == nil {
+		t.Error("non-map result accepted")
+	}
+	if _, _, err := decodeFetchResult(map[string]any{"payload": "nope"}, time.Second); err == nil {
+		t.Error("non-bytes payload accepted")
+	}
+}
+
+// TestFetchSliceStatsClamp drives FetchSliceContext against a handler
+// returning a crafted reply whose server-side timings exceed the
+// client total, so the slice path's clamp is exercised over a real RPC
+// round trip.
+func TestFetchSliceStatsClamp(t *testing.T) {
+	vals := make([]float32, 9)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	srv := rpc.NewServer()
+	srv.Register(MethodFetchSlice, func(_ context.Context, _ []any) (any, error) {
+		return map[string]any{
+			"dims":    []any{int64(3), int64(3), int64(1)},
+			"origin":  []any{float64(0), float64(0), float64(2)},
+			"spacing": []any{float64(1), float64(1), float64(1)},
+			"values":  vtkio.FloatsToBytes(vals),
+			// An hour of claimed server work: total - read - filter is
+			// hugely negative and must clamp to zero.
+			"readns":   int64(time.Hour),
+			"filterns": int64(time.Hour),
+			"rawbytes": int64(4000),
+		}, nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	client, err := Dial(ln.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	g2, got, st, err := client.FetchSlice("any.vnd", "d", contour.AxisZ, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Dims.X != 3 || g2.Dims.Y != 3 || g2.Dims.Z != 1 {
+		t.Errorf("slice dims = %+v", g2.Dims)
+	}
+	if g2.Origin.Z != 2 {
+		t.Errorf("slice origin Z = %v, want 2", g2.Origin.Z)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d = %v, want %v", i, got[i], vals[i])
+		}
+	}
+	if st.TransferTime != 0 {
+		t.Errorf("TransferTime = %v, want clamped 0", st.TransferTime)
+	}
+	if st.ReadTime != time.Hour || st.FilterTime != time.Hour {
+		t.Errorf("server timings mangled: %v/%v", st.ReadTime, st.FilterTime)
+	}
+	if st.RawBytes != 4000 || st.PayloadBytes != int64(4*len(vals)) {
+		t.Errorf("sizes = %d/%d", st.RawBytes, st.PayloadBytes)
+	}
+	if st.SelectedPoints != len(vals) {
+		t.Errorf("SelectedPoints = %d, want %d", st.SelectedPoints, len(vals))
+	}
+}

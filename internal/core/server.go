@@ -8,6 +8,7 @@ import (
 	"net"
 	"time"
 
+	"vizndp/internal/arraycache"
 	"vizndp/internal/contour"
 	"vizndp/internal/grid"
 	"vizndp/internal/rpc"
@@ -46,13 +47,28 @@ const (
 // on the storage node is an s3fs mount colocated with the object store)
 // and a pre-filter. Clients drive it over msgpack-rpc.
 type Server struct {
-	fsys fs.FS
-	rpc  *rpc.Server
+	fsys  fs.FS
+	rpc   *rpc.Server
+	cache *arraycache.Cache
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithCacheBytes bounds a storage-side cache of decoded arrays to
+// maxBytes: repeated fetches of the same (path, array) — the isovalue
+// sweep workload — skip the storage read and decompression entirely.
+// maxBytes <= 0 disables the cache (the default).
+func WithCacheBytes(maxBytes int64) ServerOption {
+	return func(s *Server) { s.cache = arraycache.New(maxBytes) }
 }
 
 // NewServer builds an NDP server over the given filesystem.
-func NewServer(fsys fs.FS) *Server {
+func NewServer(fsys fs.FS, opts ...ServerOption) *Server {
 	s := &Server{fsys: fsys, rpc: rpc.NewServer()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.rpc.Register(MethodList, s.handleList)
 	s.rpc.Register(MethodDescribe, s.handleDescribe)
 	s.rpc.Register(MethodFetch, s.handleFetch)
@@ -61,6 +77,10 @@ func NewServer(fsys fs.FS) *Server {
 	s.rpc.Register(MethodFetchRaw, s.handleFetchRaw)
 	return s
 }
+
+// Cache exposes the array cache (nil when disabled) for tests and
+// benchmarks that need to reset or inspect it.
+func (s *Server) Cache() *arraycache.Cache { return s.cache }
 
 // Serve accepts NDP connections from ln until closed.
 func (s *Server) Serve(ln net.Listener) error { return s.rpc.Serve(ln) }
@@ -77,6 +97,37 @@ func argString(args []any, i int, what string) (string, error) {
 		return "", fmt.Errorf("core: %s argument is %T, want string", what, args[i])
 	}
 	return v, nil
+}
+
+// asFloat accepts a msgpack-decoded number in any numeric wire shape: a
+// conforming msgpack-rpc peer encodes 1.0 as an int, and our decoder
+// yields float32 for float32-format values and uint64 above MaxInt64.
+// The client-side decoders (float3, floatSlice) are equally liberal;
+// this keeps the server from rejecting what the protocol allows.
+func asFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case float32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+// argFloat decodes one numeric argument via asFloat.
+func argFloat(args []any, i int, what string) (float64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("core: missing %s argument", what)
+	}
+	f, ok := asFloat(args[i])
+	if !ok {
+		return 0, fmt.Errorf("core: %s argument is %T, want number", what, args[i])
+	}
+	return f, nil
 }
 
 func (s *Server) handleList(_ context.Context, args []any) (any, error) {
@@ -163,29 +214,74 @@ func floatsToAny(v []float64) []any {
 	return out
 }
 
+// fileVersion stats path to derive the cache key's file version. A
+// rewritten file (new mtime or size) therefore misses under a fresh key
+// and the stale entry ages out of the LRU.
+func (s *Server) fileVersion(path string) (arraycache.Version, error) {
+	info, err := fs.Stat(s.fsys, path)
+	if err != nil {
+		return arraycache.Version{}, err
+	}
+	return arraycache.Version{MTime: info.ModTime().UnixNano(), Size: info.Size()}, nil
+}
+
+// readArrayOnce performs one actual storage read: open, parse the
+// header, read + decompress the array. The returned entry stays valid
+// after the backing file is closed.
+func (s *Server) readArrayOnce(path, array string) (*arraycache.Entry, error) {
+	r, closer, err := s.openReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	field, err := r.ReadArray(array)
+	if err != nil {
+		return nil, err
+	}
+	return &arraycache.Entry{Grid: r.Grid(), Field: field}, nil
+}
+
+// loadArray resolves (path, array) through the cache when configured.
+// Without a cache every call reads storage; with one, concurrent
+// requests single-flight onto one read and repeats are served resident.
+func (s *Server) loadArray(path, array string) (*arraycache.Entry, arraycache.Outcome, error) {
+	if s.cache == nil {
+		e, err := s.readArrayOnce(path, array)
+		return e, arraycache.Miss, err
+	}
+	ver, err := s.fileVersion(path)
+	if err != nil {
+		return nil, arraycache.Miss, err
+	}
+	key := arraycache.Key{Path: path, Array: array, Version: ver}
+	return s.cache.GetOrLoad(key, func() (*arraycache.Entry, error) {
+		return s.readArrayOnce(path, array)
+	})
+}
+
 // readArrayTimed reads one array under a "read" span, reporting the
-// storage read (+ decompression) time. The returned reader's header and
-// grid stay valid after the backing file is closed.
-func (s *Server) readArrayTimed(ctx context.Context, path, array string) (*vtkio.Reader, *grid.Field, time.Duration, error) {
+// storage read (+ decompression) time. On a cache hit the elapsed time
+// is the in-memory lookup — effectively zero — so the readns a client
+// sees stays an honest account of storage work actually performed.
+func (s *Server) readArrayTimed(ctx context.Context, path, array string) (*grid.Uniform, *grid.Field, time.Duration, error) {
 	_, span := telemetry.StartSpan(ctx, "read")
 	defer span.End()
 	span.SetAttr("path", path)
 	span.SetAttr("array", array)
 	start := time.Now()
-	r, closer, err := s.openReader(path)
-	if err != nil {
-		span.SetAttr("error", err.Error())
-		return nil, nil, 0, err
-	}
-	defer closer.Close()
-	field, err := r.ReadArray(array)
+	entry, outcome, err := s.loadArray(path, array)
 	if err != nil {
 		span.SetAttr("error", err.Error())
 		return nil, nil, 0, err
 	}
 	readTime := time.Since(start)
-	mFetchReadSecs.Observe(readTime.Seconds())
-	return r, field, readTime, nil
+	span.SetAttr("cache", outcome.String())
+	if outcome == arraycache.Miss {
+		// Only actual storage reads feed the read-time histogram; hits
+		// and coalesced waits would skew it toward zero / double-count.
+		mFetchReadSecs.Observe(readTime.Seconds())
+	}
+	return entry.Grid, entry.Field, readTime, nil
 }
 
 // recordFetch reports one pre-filtered fetch to the metrics registry.
@@ -225,9 +321,9 @@ func (s *Server) handleFetch(ctx context.Context, args []any) (any, error) {
 	}
 	isovalues := make([]float64, len(rawIsos))
 	for i, v := range rawIsos {
-		f, ok := v.(float64)
+		f, ok := asFloat(v)
 		if !ok {
-			return nil, fmt.Errorf("core: isovalue %d is %T, want float64", i, v)
+			return nil, fmt.Errorf("core: isovalue %d is %T, want number", i, v)
 		}
 		isovalues[i] = f
 	}
@@ -242,7 +338,7 @@ func (s *Server) handleFetch(ctx context.Context, args []any) (any, error) {
 		return nil, err
 	}
 
-	r, field, readTime, err := s.readArrayTimed(ctx, path, array)
+	g, field, readTime, err := s.readArrayTimed(ctx, path, array)
 	if err != nil {
 		mFetchErrors.Inc()
 		return nil, err
@@ -250,7 +346,7 @@ func (s *Server) handleFetch(ctx context.Context, args []any) (any, error) {
 
 	_, fspan := telemetry.StartSpan(ctx, "prefilter")
 	pre := &PreFilter{Isovalues: isovalues, Encoding: enc}
-	payload, stats, err := pre.Run(r.Grid(), field)
+	payload, stats, err := pre.Run(g, field)
 	if err != nil {
 		fspan.SetAttr("error", err.Error())
 		fspan.End()
@@ -286,13 +382,13 @@ func (s *Server) handleFetchRange(ctx context.Context, args []any) (any, error) 
 	if len(args) < 4 {
 		return nil, fmt.Errorf("core: fetchrange needs lo and hi arguments")
 	}
-	lo, ok := args[2].(float64)
-	if !ok {
-		return nil, fmt.Errorf("core: lo argument is %T, want float64", args[2])
+	lo, err := argFloat(args, 2, "lo")
+	if err != nil {
+		return nil, err
 	}
-	hi, ok := args[3].(float64)
-	if !ok {
-		return nil, fmt.Errorf("core: hi argument is %T, want float64", args[3])
+	hi, err := argFloat(args, 3, "hi")
+	if err != nil {
+		return nil, err
 	}
 	encName := ""
 	if len(args) > 4 {
@@ -305,7 +401,7 @@ func (s *Server) handleFetchRange(ctx context.Context, args []any) (any, error) 
 		return nil, err
 	}
 
-	r, field, readTime, err := s.readArrayTimed(ctx, path, array)
+	g, field, readTime, err := s.readArrayTimed(ctx, path, array)
 	if err != nil {
 		mFetchErrors.Inc()
 		return nil, err
@@ -313,7 +409,7 @@ func (s *Server) handleFetchRange(ctx context.Context, args []any) (any, error) 
 
 	_, fspan := telemetry.StartSpan(ctx, "prefilter.range")
 	pre := &RangePreFilter{Lo: lo, Hi: hi, Encoding: enc}
-	payload, stats, err := pre.Run(r.Grid(), field)
+	payload, stats, err := pre.Run(g, field)
 	if err != nil {
 		fspan.SetAttr("error", err.Error())
 		fspan.End()
@@ -362,7 +458,7 @@ func (s *Server) handleFetchSlice(ctx context.Context, args []any) (any, error) 
 		return nil, fmt.Errorf("core: slice index is %T, want integer", args[3])
 	}
 
-	r, field, readTime, err := s.readArrayTimed(ctx, path, array)
+	g, field, readTime, err := s.readArrayTimed(ctx, path, array)
 	if err != nil {
 		mFetchErrors.Inc()
 		return nil, err
@@ -370,7 +466,7 @@ func (s *Server) handleFetchSlice(ctx context.Context, args []any) (any, error) 
 
 	_, fspan := telemetry.StartSpan(ctx, "prefilter.slice")
 	filterStart := time.Now()
-	g2, vals, err := contour.ExtractSlice(r.Grid(), field.Values, axis, int(index64))
+	g2, vals, err := contour.ExtractSlice(g, field.Values, axis, int(index64))
 	if err != nil {
 		fspan.SetAttr("error", err.Error())
 		fspan.End()
@@ -382,12 +478,15 @@ func (s *Server) handleFetchSlice(ctx context.Context, args []any) (any, error) 
 	fspan.SetAttr("axis", axisName)
 	fspan.SetAttr("points", len(vals))
 	fspan.End()
-	payloadBytes := int64(4 * len(vals))
-	mFetchCount.Inc()
-	mFetchRawBytes.Add(int64(4 * field.Len()))
-	mFetchPayload.Add(payloadBytes)
-	mFetchSelected.Add(int64(len(vals)))
-	mFetchFiltSecs.Observe(filterTime.Seconds())
+	// Report through the same path as the other fetch handlers so slice
+	// fetches update the selectivity gauge and emit the per-fetch log.
+	recordFetch(path, array, &PreFilterStats{
+		NumPoints:      field.Len(),
+		SelectedPoints: len(vals),
+		RawBytes:       int64(4 * field.Len()),
+		PayloadBytes:   int64(4 * len(vals)),
+		FilterTime:     filterTime,
+	})
 
 	return map[string]any{
 		"dims":     []any{int64(g2.Dims.X), int64(g2.Dims.Y), int64(g2.Dims.Z)},
@@ -416,22 +515,38 @@ func (s *Server) handleFetchRaw(ctx context.Context, args []any) (any, error) {
 	span.SetAttr("path", path)
 	span.SetAttr("array", array)
 	readStart := time.Now()
-	r, closer, err := s.openReader(path)
-	if err != nil {
-		span.SetAttr("error", err.Error())
-		return nil, err
+	var raw []byte
+	if s.cache != nil {
+		// Serve from the decoded-array cache: re-serializing float32
+		// values is a bit-exact inverse of decoding, so the payload is
+		// identical to a fresh storage read.
+		entry, outcome, err := s.loadArray(path, array)
+		if err != nil {
+			span.SetAttr("error", err.Error())
+			return nil, err
+		}
+		span.SetAttr("cache", outcome.String())
+		if outcome == arraycache.Miss {
+			mFetchReadSecs.Observe(time.Since(readStart).Seconds())
+		}
+		raw = vtkio.FloatsToBytes(entry.Field.Values)
+	} else {
+		r, closer, err := s.openReader(path)
+		if err != nil {
+			span.SetAttr("error", err.Error())
+			return nil, err
+		}
+		defer closer.Close()
+		if raw, err = r.ReadArrayBytes(array); err != nil {
+			span.SetAttr("error", err.Error())
+			return nil, err
+		}
+		readTime := time.Since(readStart)
+		mFetchReadSecs.Observe(readTime.Seconds())
 	}
-	defer closer.Close()
-	raw, err := r.ReadArrayBytes(array)
-	if err != nil {
-		span.SetAttr("error", err.Error())
-		return nil, err
-	}
-	readTime := time.Since(readStart)
-	mFetchReadSecs.Observe(readTime.Seconds())
 	span.SetAttr("bytes", len(raw))
 	return map[string]any{
 		"data":   raw,
-		"readns": int64(readTime),
+		"readns": int64(time.Since(readStart)),
 	}, nil
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"vizndp/internal/grid"
 	"vizndp/internal/pipeline"
@@ -21,6 +20,9 @@ type NDPSource struct {
 	Arrays    []string
 	Isovalues []float64
 	Encoding  Encoding
+	// Parallelism bounds concurrent fetches; <= 0 uses
+	// DefaultMultiParallelism.
+	Parallelism int
 
 	// Stats holds per-array fetch statistics from the most recent
 	// Execute.
@@ -50,49 +52,35 @@ func (s *NDPSource) Execute(ctx context.Context, _ any) (any, error) {
 	// Fetch all arrays concurrently: the RPC client multiplexes requests
 	// over one connection, so the storage node overlaps its reads and
 	// filtering across arrays while payloads share the link.
-	type result struct {
-		field *grid.Field
-		stats *FetchStats
-		err   error
-	}
-	results := make([]result, len(s.Arrays))
-	var wg sync.WaitGroup
+	reqs := make([]MultiRequest, len(s.Arrays))
 	for i, array := range s.Arrays {
-		wg.Add(1)
-		go func(i int, array string) {
-			defer wg.Done()
-			payload, stats, err := s.Client.FetchFilteredContext(ctx, s.Path, array, s.Isovalues, s.Encoding)
-			if err != nil {
-				results[i].err = fmt.Errorf("core: fetch %s/%s: %w", s.Path, array, err)
-				return
-			}
-			if payload.NumPoints != desc.Grid.NumPoints() {
-				results[i].err = fmt.Errorf("core: payload for %q has %d points, grid has %d",
-					array, payload.NumPoints, desc.Grid.NumPoints())
-				return
-			}
-			vals := make([]float32, payload.NumPoints)
-			fillNaN(vals)
-			if err := payload.ReconstructInto(vals); err != nil {
-				results[i].err = err
-				return
-			}
-			results[i].field = &grid.Field{Name: array, Values: vals}
-			results[i].stats = stats
-		}(i, array)
+		reqs[i] = MultiRequest{
+			Path: s.Path, Array: array,
+			Isovalues: s.Isovalues, Encoding: s.Encoding,
+		}
 	}
-	wg.Wait()
+	results := s.Client.FetchFilteredMultiContext(ctx, reqs, s.Parallelism)
 
 	ds := grid.NewDataset(desc.Grid)
 	s.Stats = make(map[string]*FetchStats, len(s.Arrays))
 	for i, array := range s.Arrays {
-		if results[i].err != nil {
-			return nil, results[i].err
+		r := results[i]
+		if r.Err != nil {
+			return nil, fmt.Errorf("core: fetch %s/%s: %w", s.Path, array, r.Err)
 		}
-		if err := ds.AddField(results[i].field); err != nil {
+		if r.Payload.NumPoints != desc.Grid.NumPoints() {
+			return nil, fmt.Errorf("core: payload for %q has %d points, grid has %d",
+				array, r.Payload.NumPoints, desc.Grid.NumPoints())
+		}
+		vals := make([]float32, r.Payload.NumPoints)
+		fillNaN(vals)
+		if err := r.Payload.ReconstructInto(vals); err != nil {
 			return nil, err
 		}
-		s.Stats[array] = results[i].stats
+		if err := ds.AddField(&grid.Field{Name: array, Values: vals}); err != nil {
+			return nil, err
+		}
+		s.Stats[array] = r.Stats
 	}
 	return ds, nil
 }

@@ -56,6 +56,11 @@ type Config struct {
 	DataDir string
 	// Encoding is the NDP payload encoding.
 	Encoding core.Encoding
+	// CacheBytes is the decoded-array cache budget for the RepeatFetch
+	// experiment's dedicated NDP server. The environment's shared NDP
+	// server never caches, so every other experiment keeps measuring
+	// cold reads.
+	CacheBytes int64
 	// Seed varies the synthetic datasets.
 	Seed uint32
 }
@@ -72,6 +77,7 @@ func DefaultConfig(dataDir string) Config {
 		LinkLatency:   100 * time.Microsecond,
 		Repeats:       3,
 		DataDir:       dataDir,
+		CacheBytes:    256 << 20,
 		Seed:          7,
 	}
 }
@@ -88,6 +94,7 @@ func QuickConfig(dataDir string) Config {
 		LinkLatency:   50 * time.Microsecond,
 		Repeats:       1,
 		DataDir:       dataDir,
+		CacheBytes:    64 << 20,
 		Seed:          7,
 	}
 }

@@ -333,3 +333,27 @@ func TestExtensionSlice(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheRepeatFetch runs the warm-vs-cold experiment at quick scale:
+// rows parse, the cache footer reports hits, and payload verification
+// inside RepeatFetch (cold == warm == uncached) did not fail.
+func TestCacheRepeatFetch(t *testing.T) {
+	tab, err := env.RepeatFetch("asteroid", compress.Gzip, env.Steps()[0], "v03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per contour value plus the cache counter footer.
+	tableHasRows(t, tab, len(env.Cfg.ContourValues)+1)
+	footer := tab.Rows[len(tab.Rows)-1]
+	if footer[0] != "cache" {
+		t.Fatalf("missing cache footer row, got %v", footer)
+	}
+	if footer[1] == "0 misses" || footer[2] == "0 hits" {
+		t.Errorf("cache counters did not move: %v", footer)
+	}
+	for _, row := range tab.Rows[:len(tab.Rows)-1] {
+		if !strings.HasSuffix(row[3], "x") {
+			t.Errorf("row %v: speedup column malformed", row)
+		}
+	}
+}

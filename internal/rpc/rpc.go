@@ -399,7 +399,8 @@ func Dial(network, addr string, dialFn func(network, addr string) (net.Conn, err
 	return NewClient(conn), nil
 }
 
-// Close tears down the connection; pending calls fail with ErrShutdown.
+// Close tears down the connection; pending and subsequent calls fail
+// with ErrShutdown.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -407,6 +408,12 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	// Record the explicit shutdown before the readLoop observes the
+	// closed connection, so later calls report ErrShutdown rather than
+	// the loop's raw "use of closed network connection" error.
+	if c.err == nil {
+		c.err = ErrShutdown
+	}
 	c.mu.Unlock()
 	return c.conn.Close()
 }
@@ -578,6 +585,16 @@ func (c *Client) send(method string, args []any, wireCtx string) (chan response,
 
 // Notify sends a fire-and-forget notification.
 func (c *Client) Notify(method string, args ...any) error {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrShutdown
+		}
+		return err
+	}
+	c.mu.Unlock()
 	e := msgpack.NewEncoder(256)
 	e.PutArrayLen(3)
 	e.PutInt(typeNotification)
@@ -588,9 +605,15 @@ func (c *Client) Notify(method string, args ...any) error {
 			return err
 		}
 	}
+	body := e.Bytes()
 	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	return writeFrame(c.conn, e.Bytes())
+	err := writeFrame(c.conn, body)
+	c.wmu.Unlock()
+	if err != nil {
+		return err
+	}
+	mClientBytesOut.Add(int64(len(body) + 4))
+	return nil
 }
 
 func (c *Client) abandon(msgid int64) {

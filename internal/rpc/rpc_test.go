@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"vizndp/internal/netsim"
+	"vizndp/internal/telemetry"
 )
 
 // startServer runs a Server over a loopback TCP listener and returns a
@@ -196,6 +197,55 @@ func TestClientCloseFailsPending(t *testing.T) {
 	close(block)
 	if _, err := c.Call("hang"); err == nil {
 		t.Error("call after close should fail")
+	}
+}
+
+// TestClientCloseReturnsErrShutdown pins the documented contract: after
+// an explicit Close, new calls and notifications fail with ErrShutdown —
+// not the readLoop's raw "use of closed network connection" error.
+func TestClientCloseReturnsErrShutdown(t *testing.T) {
+	c := startServer(t, func(s *Server) {
+		s.Register("ping", func(_ context.Context, _ []any) (any, error) {
+			return nil, nil
+		})
+	})
+	if _, err := c.Call("ping"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the readLoop time to observe the closed connection; its raw
+	// network error must not overwrite the recorded shutdown.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := c.Call("ping"); !errors.Is(err, ErrShutdown) {
+		t.Errorf("Call after Close = %v, want ErrShutdown", err)
+	}
+	if err := c.Notify("ping"); !errors.Is(err, ErrShutdown) {
+		t.Errorf("Notify after Close = %v, want ErrShutdown", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+}
+
+// TestNotifyCountsBytesSent verifies notifications are accounted in the
+// rpc.client.bytes.sent counter like calls are.
+func TestNotifyCountsBytesSent(t *testing.T) {
+	c := startServer(t, func(s *Server) {
+		s.Register("ping", func(_ context.Context, _ []any) (any, error) {
+			return nil, nil
+		})
+	})
+	ctr := telemetry.Default().Counter("rpc.client.bytes.sent")
+	before := ctr.Value()
+	if err := c.Notify("ping", "payload"); err != nil {
+		t.Fatal(err)
+	}
+	// A notify frame is [2, method, args] plus the 4-byte length prefix;
+	// anything > 4 proves the body was counted too.
+	if got := ctr.Value() - before; got <= 4 {
+		t.Errorf("bytes.sent delta = %d, want > 4", got)
 	}
 }
 

@@ -57,6 +57,23 @@ func (f *FS) Open(name string) (fs.File, error) {
 	}, nil
 }
 
+// Stat implements fs.StatFS with a single object stat, so callers
+// probing file versions (e.g. the NDP server's array-cache keys) avoid
+// constructing a file handle. The object store reports no modification
+// time, so ModTime is the zero time and change detection rides on size.
+func (f *FS) Stat(name string) (fs.FileInfo, error) {
+	if !fs.ValidPath(name) || name == "." {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrInvalid}
+	}
+	size, err := f.client.Stat(f.bucket, name)
+	if err != nil {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: err}
+	}
+	return fileInfo{name: path.Base(name), size: size}, nil
+}
+
+var _ fs.StatFS = (*FS)(nil)
+
 // ReadDir lists the objects under the given prefix directory, satisfying
 // the common pattern of scanning a timestep directory.
 func (f *FS) ReadDir(name string) ([]fs.DirEntry, error) {

@@ -301,3 +301,23 @@ func TestFileInfoAccessors(t *testing.T) {
 		t.Error("invalid readdir path accepted")
 	}
 }
+
+func TestStatFS(t *testing.T) {
+	fsys, c := startFS(t)
+	if err := c.Put("sim", "dir/obj.bin", make([]byte, 1234)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat(fsys, "dir/obj.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 1234 || info.Name() != "obj.bin" || info.IsDir() {
+		t.Errorf("stat = %v/%d/%v", info.Name(), info.Size(), info.IsDir())
+	}
+	if _, err := fs.Stat(fsys, "missing"); err == nil {
+		t.Error("stat of missing object succeeded")
+	}
+	if _, err := fsys.Stat("../bad"); err == nil {
+		t.Error("stat of invalid path succeeded")
+	}
+}

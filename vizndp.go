@@ -155,9 +155,18 @@ func SplitContour(g *Grid, field *Field, isovalues []float64, enc Encoding) (*Me
 	return core.SplitContour(g, field, isovalues, enc)
 }
 
+// NDPServerOption configures a NewNDPServer, e.g. WithCacheBytes.
+type NDPServerOption = core.ServerOption
+
+// WithCacheBytes enables the server's decoded-array LRU cache with the
+// given byte budget; 0 or negative leaves caching off.
+func WithCacheBytes(maxBytes int64) NDPServerOption { return core.WithCacheBytes(maxBytes) }
+
 // NewNDPServer builds a storage-side NDP server over a filesystem of
 // dataset files (an os.DirFS or an s3fs view of an object store).
-func NewNDPServer(fsys fs.FS) *NDPServer { return core.NewServer(fsys) }
+func NewNDPServer(fsys fs.FS, opts ...NDPServerOption) *NDPServer {
+	return core.NewServer(fsys, opts...)
+}
 
 // DialNDP connects to an NDP server, optionally through a shaped link's
 // Dial function.
