@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrWrap requires fmt.Errorf calls that carry an error operand to wrap
+// it with %w. The repo's layers communicate failure classes through
+// errors.Is across process boundaries — rpc.ErrShutdown, fs.ErrNotExist
+// from the object store, msgpack.ErrTruncated — and a %v/%s anywhere on
+// that chain silently flattens the cause to text, breaking every
+// errors.Is/As check above it.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error operand must use %w so errors.Is keeps working",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	if pass.Info == nil {
+		return
+	}
+	errorType, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if errorType == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(pass.calleeObj(call), "fmt", "Errorf") {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constString(pass, call.Args[0])
+			if !ok {
+				return true
+			}
+			errOperands := 0
+			for _, arg := range call.Args[1:] {
+				t := pass.TypeOf(arg)
+				if t != nil && types.Implements(t, errorType) {
+					errOperands++
+				}
+			}
+			if errOperands == 0 {
+				return true
+			}
+			if wraps := countVerb(format, 'w'); wraps < errOperands {
+				pass.Reportf(call.Pos(),
+					"fmt.Errorf has %d error operand(s) but %d %%w verb(s); errors.Is/As will not see the cause",
+					errOperands, wraps)
+			}
+			return true
+		})
+	}
+}
+
+// constString resolves e to its constant string value, covering both
+// literals and constant concatenations.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// countVerb counts occurrences of the given verb in a fmt format
+// string, skipping %% escapes and flag/width/precision/index characters
+// between the % and the verb letter.
+func countVerb(format string, verb byte) int {
+	count := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		for i < len(format) {
+			c := format[i]
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+				if c == verb {
+					count++
+				}
+				break
+			}
+			i++
+		}
+	}
+	return count
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq forbids direct ==/!= on floating-point values. The NDP
+// protocol's correctness claim is bit-exactness: a pre-filtered fetch
+// (and a cache hit re-encoded by FetchRaw) must reproduce the exact
+// float32 payload a full read would have produced, so equality checks
+// must compare representations (math.Float32bits / math.Float64bits),
+// not values — 0.0 == -0.0 and NaN != NaN would both lie about payload
+// identity. The NaN self-test idiom (v != v) is allowed.
+//
+// Test files are not analyzed (the loader skips _test.go), matching the
+// rule's scope: production payload handling only.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on floats; compare bits via math.Float32bits/Float64bits",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	if pass.Info == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+				return true
+			}
+			width := floatWidth(pass.TypeOf(b.X))
+			if width == 0 {
+				width = floatWidth(pass.TypeOf(b.Y))
+			}
+			if width == 0 {
+				return true
+			}
+			// NaN self-test idiom: x != x is the portable IsNaN.
+			if b.Op == token.NEQ && types.ExprString(b.X) == types.ExprString(b.Y) {
+				return true
+			}
+			pass.Reportf(b.OpPos,
+				"direct %s on float%d values; compare bits with math.Float%dbits for exactness",
+				b.Op, width, width)
+			return true
+		})
+	}
+}
+
+// floatWidth returns 32 or 64 for floating-point types, 0 otherwise.
+func floatWidth(t types.Type) int {
+	if t == nil {
+		return 0
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0
+	}
+	switch basic.Kind() {
+	case types.Float32:
+		return 32
+	case types.Float64, types.UntypedFloat:
+		return 64
+	}
+	return 0
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata expect.txt golden files")
+
+// goldenCase is one testdata package checked against its expect.txt.
+type goldenCase struct {
+	// dir names the package under testdata/src.
+	dir string
+	// importPath is the path the package is type-checked under; nopanic
+	// cases borrow a request-serving path to bring themselves in scope.
+	importPath string
+	// analyzers is the -run style comma list ("" = all).
+	analyzers string
+}
+
+func goldenCases() []goldenCase {
+	const fake = "vizndp/internal/analysis/testdata"
+	return []goldenCase{
+		{"lockhold/bad", fake + "/lockhold/bad", "lockhold"},
+		{"lockhold/clean", fake + "/lockhold/clean", "lockhold"},
+		{"spanend/bad", fake + "/spanend/bad", "spanend"},
+		{"spanend/clean", fake + "/spanend/clean", "spanend"},
+		{"nopanic/bad", "vizndp/internal/core", "nopanic"},
+		{"nopanic/clean", "vizndp/internal/core", "nopanic"},
+		{"floateq/bad", fake + "/floateq/bad", "floateq"},
+		{"floateq/clean", fake + "/floateq/clean", "floateq"},
+		{"errwrap/bad", fake + "/errwrap/bad", "errwrap"},
+		{"errwrap/clean", fake + "/errwrap/clean", "errwrap"},
+		{"directive/bad", fake + "/directive/bad", "floateq"},
+		{"directive/clean", fake + "/directive/clean", "floateq"},
+		{"typecheck/broken", fake + "/typecheck/broken", ""},
+		{"multifile/bad", fake + "/multifile/bad", "floateq,errwrap"},
+	}
+}
+
+func TestGolden(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range goldenCases() {
+		t.Run(strings.ReplaceAll(c.dir, "/", "_"), func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", filepath.FromSlash(c.dir))
+			pkg, err := loader.LoadDir(dir, c.importPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			analyzers, err := ByName(c.analyzers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings := AnalyzePackages([]*Package{pkg}, analyzers)
+			var b strings.Builder
+			for _, f := range findings {
+				fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n",
+					filepath.Base(f.Pos.Filename), f.Pos.Line, f.Pos.Column,
+					f.Analyzer, f.Message)
+			}
+			got := b.String()
+			goldenPath := filepath.Join(dir, "expect.txt")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden file (run with -update to create): %v", err)
+			}
+			want := string(wantBytes)
+			if got != want {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want (%s) ---\n%s",
+					got, goldenPath, want)
+			}
+			if strings.HasSuffix(c.dir, "/bad") || strings.HasSuffix(c.dir, "/broken") {
+				if got == "" {
+					t.Errorf("violation package %s produced no findings", c.dir)
+				}
+			}
+			if strings.HasSuffix(c.dir, "/clean") && got != "" {
+				t.Errorf("clean package %s produced findings:\n%s", c.dir, got)
+			}
+		})
+	}
+}
+
+// TestGoldenTypecheckPartial pins the contract that a package with type
+// errors still yields findings rather than a crash, and that syntactic
+// analyzers still run over its AST.
+func TestGoldenTypecheckPartial(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "typecheck", "broken"),
+		"vizndp/internal/analysis/testdata/typecheck/broken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) == 0 {
+		t.Fatal("expected type errors")
+	}
+	findings := Analyze(pkg, All())
+	seen := false
+	for _, f := range findings {
+		if f.Analyzer == TypecheckName {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Errorf("no typecheck findings in %v", findings)
+	}
+}

@@ -1,0 +1,18 @@
+// Package clean shows both directive placements the suppressor honors:
+// the line above the finding and trailing on the finding's own line.
+package clean
+
+func lineAbove(a, b float64) bool {
+	// vizlint:ignore floateq exact comparison intended in this fixture
+	if a == b {
+		return true
+	}
+	return false
+}
+
+func sameLine(a, b float64) bool {
+	if a == b { // vizlint:ignore floateq exact comparison intended in this fixture
+		return true
+	}
+	return false
+}

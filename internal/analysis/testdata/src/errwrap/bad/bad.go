@@ -1,0 +1,16 @@
+// Package bad flattens error causes with %v/%s instead of wrapping.
+package bad
+
+import "fmt"
+
+func flatten(err error) error {
+	return fmt.Errorf("load failed: %v", err)
+}
+
+func asString(name string, err error) error {
+	return fmt.Errorf("open %s: %s", name, err)
+}
+
+func halfWrapped(e1, e2 error) error {
+	return fmt.Errorf("both failed: %w; %v", e1, e2)
+}

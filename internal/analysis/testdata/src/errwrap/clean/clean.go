@@ -1,0 +1,24 @@
+// Package clean wraps every error operand with %w (or carries none).
+package clean
+
+import "fmt"
+
+func wrapped(err error) error {
+	return fmt.Errorf("load failed: %w", err)
+}
+
+func wrappedWithContext(name string, err error) error {
+	return fmt.Errorf("open %s: %w", name, err)
+}
+
+func bothWrapped(e1, e2 error) error {
+	return fmt.Errorf("both failed: %w; %w", e1, e2)
+}
+
+func noError(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+func concatenated(err error) error {
+	return fmt.Errorf("stage one:"+" %w", err)
+}

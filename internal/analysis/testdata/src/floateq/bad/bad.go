@@ -1,0 +1,23 @@
+// Package bad compares floats with ==/!= directly.
+package bad
+
+func equal64(a, b float64) bool {
+	return a == b
+}
+
+func notEqual32(a, b float32) bool {
+	return a != b
+}
+
+func against(v float64) bool {
+	return v == 1.5
+}
+
+func mixed(vals []float32, want float32) int {
+	for i, v := range vals {
+		if v != want {
+			return i
+		}
+	}
+	return -1
+}

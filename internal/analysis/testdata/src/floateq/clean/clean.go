@@ -1,0 +1,29 @@
+// Package clean compares floats the way the repo requires: by bit
+// pattern, by the NaN self-test idiom, or with an annotated guard.
+package clean
+
+import "math"
+
+func equal64(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func equal32(a, b float32) bool {
+	return math.Float32bits(a) == math.Float32bits(b)
+}
+
+func isNaN(v float64) bool {
+	return v != v
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+func safeInverse(v float64) float64 {
+	// vizlint:ignore floateq exact-zero guard before division
+	if v == 0 {
+		return 0
+	}
+	return 1 / v
+}

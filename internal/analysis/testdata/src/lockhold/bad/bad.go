@@ -1,0 +1,54 @@
+// Package bad violates the lockhold discipline in every way the
+// analyzer detects: leaked locks, blocking while held, double locking.
+package bad
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+var errFail = errors.New("fail")
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func missingUnlock(c *counter, fail bool) error {
+	c.mu.Lock()
+	if fail {
+		return errFail
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+func sleepWhileHeld(c *counter) {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond)
+	c.mu.Unlock()
+}
+
+func sendWhileHeld(c *counter, ch chan int) {
+	c.mu.Lock()
+	ch <- c.n
+	c.mu.Unlock()
+}
+
+func receiveWhileHeld(c *counter, ch chan int) {
+	c.mu.Lock()
+	c.n = <-ch
+	c.mu.Unlock()
+}
+
+func doubleLock(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func leakAtEnd(c *counter) {
+	c.mu.Lock()
+	c.n++
+}

@@ -1,0 +1,65 @@
+// Package clean holds lock usage the lockhold analyzer must accept.
+package clean
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+var errFail = errors.New("fail")
+
+type counter struct {
+	mu  sync.Mutex
+	rmu sync.RWMutex
+	n   int
+}
+
+func deferred(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func explicitBothPaths(c *counter, fail bool) error {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return errFail
+	}
+	c.n++
+	c.mu.Unlock()
+	return nil
+}
+
+func readLocked(c *counter) int {
+	c.rmu.RLock()
+	defer c.rmu.RUnlock()
+	return c.n
+}
+
+func unlockBeforeBlocking(c *counter, ch chan int) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	ch <- n
+	time.Sleep(time.Millisecond)
+}
+
+func deferredClosure(c *counter) int {
+	c.mu.Lock()
+	defer func() {
+		c.n++
+		c.mu.Unlock()
+	}()
+	return c.n
+}
+
+func closureOwnLock(c *counter, ch chan int) {
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+		ch <- c.n
+	}()
+}

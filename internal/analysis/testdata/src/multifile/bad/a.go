@@ -1,0 +1,7 @@
+// Package bad spreads violations across two files of one package; the
+// loader must parse and report both.
+package bad
+
+func fromFileA(a, b float64) bool {
+	return a == b
+}

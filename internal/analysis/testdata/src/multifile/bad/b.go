@@ -1,0 +1,7 @@
+package bad
+
+import "fmt"
+
+func fromFileB(err error) error {
+	return fmt.Errorf("b failed: %v", err)
+}

@@ -1,0 +1,21 @@
+// Package bad panics inside what the analyzer is told is a
+// request-serving package (the golden test loads it under a
+// request-serving import path).
+package bad
+
+import "fmt"
+
+func parse(b []byte) int {
+	if len(b) < 4 {
+		panic("short buffer")
+	}
+	return int(b[0])
+}
+
+func convert(v any) string {
+	s, ok := v.(string)
+	if !ok {
+		panic(fmt.Sprintf("bad type %T", v))
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+// Package clean returns errors where bad panics, keeps one annotated
+// invariant panic, and shadows the builtin to prove the analyzer checks
+// objects, not names.
+package clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+func parse(b []byte) (int, error) {
+	if len(b) < 4 {
+		return 0, errors.New("short buffer")
+	}
+	return int(b[0]), nil
+}
+
+func convert(v any) (string, error) {
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("bad type %T", v)
+	}
+	return s, nil
+}
+
+func invariant(n int) int {
+	if n < 0 {
+		// vizlint:ignore nopanic caller bug, unreachable from request data
+		panic("negative")
+	}
+	return n * 2
+}
+
+// panic shadows the builtin; calling it is not a real panic.
+func panic(string) {}
+
+func shadowed() {
+	panic("just a local function")
+}

@@ -1,0 +1,31 @@
+// Package bad leaks telemetry spans on at least one return path.
+package bad
+
+import (
+	"context"
+	"errors"
+
+	"vizndp/internal/telemetry"
+)
+
+var errFail = errors.New("fail")
+
+func earlyReturnLeak(ctx context.Context, fail bool) error {
+	ctx, span := telemetry.StartSpan(ctx, "work")
+	if fail {
+		return errFail
+	}
+	_ = ctx
+	span.End()
+	return nil
+}
+
+func discarded(ctx context.Context) {
+	ctx, _ = telemetry.StartSpan(ctx, "lost")
+	_ = ctx
+}
+
+func neverEnded(ctx context.Context) {
+	_, span := telemetry.StartSpan(ctx, "forgotten")
+	span.SetAttr("k", "v")
+}

@@ -1,0 +1,45 @@
+// Package clean holds span usage the spanend analyzer must accept.
+package clean
+
+import (
+	"context"
+	"errors"
+
+	"vizndp/internal/telemetry"
+)
+
+var errFail = errors.New("fail")
+
+func deferred(ctx context.Context) error {
+	ctx, span := telemetry.StartSpan(ctx, "work")
+	defer span.End()
+	_ = ctx
+	return nil
+}
+
+func explicitBothPaths(ctx context.Context, fail bool) error {
+	ctx, span := telemetry.StartSpan(ctx, "work")
+	_ = ctx
+	if fail {
+		span.End()
+		return errFail
+	}
+	span.End()
+	return nil
+}
+
+func deferredClosure(ctx context.Context) {
+	ctx, span := telemetry.StartSpan(ctx, "work")
+	defer func() {
+		span.SetAttr("done", "1")
+		span.End()
+	}()
+	_ = ctx
+}
+
+// escapes hands span ownership to the caller as a method value; the
+// obligation moves with it, so no finding here.
+func escapes(ctx context.Context) (context.Context, func()) {
+	ctx, span := telemetry.StartSpan(ctx, "run")
+	return ctx, span.End
+}

@@ -1,0 +1,17 @@
+// Package broken parses but does not type-check: vizlint must report
+// the type errors as findings, not crash, and still run syntactic
+// analyzers over the file.
+package broken
+
+import "fmt"
+
+var x undefinedType
+
+func addMismatch() int {
+	return 1 + "two"
+}
+
+func unknownField() {
+	var s struct{ a int }
+	fmt.Println(s.b)
+}

@@ -17,6 +17,7 @@ type Bitset struct {
 // New returns a bitmap of n bits, all clear.
 func New(n int) *Bitset {
 	if n < 0 {
+		// vizlint:ignore nopanic caller bug, not request data: sizes come from validated grid dims
 		panic(fmt.Sprintf("bitset: negative size %d", n))
 	}
 	return &Bitset{n: n, words: make([]uint64, (n+63)/64)}
@@ -46,6 +47,7 @@ func (b *Bitset) Count() int {
 // Or merges o into b. Both must have the same length.
 func (b *Bitset) Or(o *Bitset) {
 	if b.n != o.n {
+		// vizlint:ignore nopanic invariant: both bitmaps derive from the same grid's point count
 		panic(fmt.Sprintf("bitset: size mismatch %d != %d", b.n, o.n))
 	}
 	for i, w := range o.words {

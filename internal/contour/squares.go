@@ -133,6 +133,7 @@ func squareEdgeVert(ls *LineSet, verts map[uint64]int32,
 		return vi
 	}
 	t := 0.5
+	// vizlint:ignore floateq degenerate-edge guard: equal endpoints would divide by zero below
 	if va != vb {
 		t = (iso - va) / (vb - va)
 		if t < 0 {

@@ -76,6 +76,7 @@ func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
 // Normalize returns v scaled to unit length, or the zero vector if v is zero.
 func (v Vec3) Normalize() Vec3 {
 	n := v.Norm()
+	// vizlint:ignore floateq exact-zero guard before division; Norm() is never -0 or NaN here
 	if n == 0 {
 		return Vec3{}
 	}

@@ -284,7 +284,9 @@ func (e *Env) ExtensionSlice(array string) (*stats.Table, error) {
 					return nil, fmt.Errorf("harness: slice mismatch at step %d", step)
 				}
 				for i := range want {
-					if vals[i] != want[i] {
+					// Bit-level comparison: the claim is payload identity,
+					// which value equality misstates for NaN and ±0.
+					if math.Float32bits(vals[i]) != math.Float32bits(want[i]) {
 						return nil, fmt.Errorf("harness: slice value mismatch at step %d", step)
 					}
 				}

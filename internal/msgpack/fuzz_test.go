@@ -1,0 +1,49 @@
+package msgpack
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the wire decoder. The decoder
+// sits directly on the RPC socket, so it must reject garbage with an
+// error — never a panic or a huge allocation — and anything it does
+// accept must round-trip back through the encoder.
+func FuzzUnmarshal(f *testing.F) {
+	seedValues := []any{
+		nil,
+		true,
+		int64(-42),
+		uint64(1 << 40),
+		3.25,
+		float32(1.5),
+		"isoValue",
+		[]byte{0xde, 0xad, 0xbe, 0xef},
+		[]any{int64(0), int64(7), "Fetch", []any{"sim", "v02", 0.3}},
+		map[string]any{"trace": "abc123", "parent": int64(9)},
+		Ext{Type: 5, Data: []byte("ext")},
+	}
+	for _, v := range seedValues {
+		b, err := Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	// Truncations and corrupt type bytes.
+	f.Add([]byte{})
+	f.Add([]byte{0xdc})             // array16 missing length
+	f.Add([]byte{0xdb, 0xff, 0xff}) // str32 with truncated length
+	f.Add([]byte{0xc1})             // never-used format byte
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode: the RPC layer round-trips
+		// decoded args into responses.
+		if _, err := Marshal(v); err != nil {
+			t.Fatalf("decoded value %#v does not re-encode: %v", v, err)
+		}
+	})
+}

@@ -89,6 +89,7 @@ func Meshes(layers []Layer, opts Options) (*image.RGBA, error) {
 	}
 	center := lo.Add(hi).Scale(0.5)
 	radius := hi.Sub(lo).Norm() / 2
+	// vizlint:ignore floateq exact-zero guard for a degenerate (single-point) bounding box
 	if radius == 0 {
 		radius = 1
 	}
@@ -177,6 +178,7 @@ func rasterTriangle(img *image.RGBA, zbuf []float64, w, h int,
 		maxY = h - 1
 	}
 	area := (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
+	// vizlint:ignore floateq exact-zero guard: degenerate triangle, inverse computed below
 	if area == 0 {
 		return
 	}
@@ -228,9 +230,11 @@ func Lines(ls *contour.LineSet, col color.RGBA, opts Options) (*image.RGBA, erro
 		hi.Y = math.Max(hi.Y, v.Y)
 	}
 	spanX, spanY := hi.X-lo.X, hi.Y-lo.Y
+	// vizlint:ignore floateq exact-zero guard for a flat bounding box before division
 	if spanX == 0 {
 		spanX = 1
 	}
+	// vizlint:ignore floateq exact-zero guard for a flat bounding box before division
 	if spanY == 0 {
 		spanY = 1
 	}

@@ -1,0 +1,43 @@
+package rpc
+
+import (
+	"testing"
+
+	"vizndp/internal/telemetry"
+)
+
+// FuzzDecodeIncoming hammers the server-side frame decoder with
+// arbitrary bodies. The server feeds it bytes straight off the socket
+// (after the length prefix), so it must fail with an error on garbage,
+// never panic.
+func FuzzDecodeIncoming(f *testing.F) {
+	if req, err := encodeRequest(7, "Fetch", []any{"sim", "v02", 0.3}, ""); err == nil {
+		f.Add(req)
+	}
+	if req, err := encodeRequest(1, "Ping", nil, "trace:span"); err == nil {
+		f.Add(req)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x90})       // empty array
+	f.Add([]byte{0x94, 0xc0}) // 4-array starting with nil
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _, _, _, _ = decodeIncoming(data)
+	})
+}
+
+// FuzzDecodeResponse does the same for the client-side decoder.
+func FuzzDecodeResponse(f *testing.F) {
+	if resp, err := encodeResponse(7, nil, []any{int64(1), "ok"}, nil); err == nil {
+		f.Add(resp)
+	}
+	if resp, err := encodeResponse(9, ErrShutdown, nil, []telemetry.SpanData{}); err == nil {
+		f.Add(resp)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x94, 0x01, 0xc0, 0xc0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = decodeResponse(data)
+	})
+}

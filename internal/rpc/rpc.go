@@ -258,7 +258,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 			resp, err := encodeResponse(msgid, herr, result, spans)
 			if err != nil {
 				resp, _ = encodeResponse(msgid,
-					fmt.Errorf("rpc: unencodable result: %v", err), nil, nil)
+					fmt.Errorf("rpc: unencodable result: %w", err), nil, nil)
 			}
 			wmu.Lock()
 			defer wmu.Unlock()
@@ -454,22 +454,33 @@ func (c *Client) readLoop() {
 	if c.err == nil {
 		c.err = loopErr
 	}
-	for id, ch := range c.pending {
-		ch <- response{err: ErrShutdown}
-		delete(c.pending, id)
-	}
+	// Detach the pending map under the lock but deliver shutdown errors
+	// after releasing it: the channels are buffered today, but sending
+	// while holding c.mu would deadlock against any future unbuffered
+	// consumer that needs the lock to make progress.
+	pending := c.pending
+	c.pending = make(map[int64]chan response)
 	c.mu.Unlock()
+	for _, ch := range pending {
+		ch <- response{err: ErrShutdown}
+	}
 }
 
 func decodeResponse(body []byte) (int64, response, error) {
 	d := msgpack.NewDecoder(body)
 	n, err := d.ReadArrayLen()
-	if err != nil || (n != 4 && n != 5) {
-		return 0, response{}, fmt.Errorf("rpc: bad response header (n=%d, err=%v)", n, err)
+	if err != nil {
+		return 0, response{}, fmt.Errorf("rpc: bad response header: %w", err)
+	}
+	if n != 4 && n != 5 {
+		return 0, response{}, fmt.Errorf("rpc: bad response header (n=%d)", n)
 	}
 	t, err := d.ReadInt()
-	if err != nil || t != typeResponse {
-		return 0, response{}, fmt.Errorf("rpc: unexpected message type %d (err=%v)", t, err)
+	if err != nil {
+		return 0, response{}, fmt.Errorf("rpc: bad response type: %w", err)
+	}
+	if t != typeResponse {
+		return 0, response{}, fmt.Errorf("rpc: unexpected message type %d", t)
 	}
 	msgid, err := d.ReadInt()
 	if err != nil {

@@ -1,0 +1,52 @@
+package vtkio
+
+import (
+	"bytes"
+	"testing"
+
+	"vizndp/internal/compress"
+	"vizndp/internal/grid"
+)
+
+// maxFuzzRawSize caps how much decompressed data one fuzz iteration may
+// materialize; a hostile header advertising terabytes is rejected by
+// the cap, not by allocating.
+const maxFuzzRawSize = 1 << 20
+
+// FuzzOpenReader feeds arbitrary bytes to the file parser. OpenReader
+// sits on object-store responses, so corrupt or truncated input must
+// produce an error — never a panic — and any header it accepts must be
+// safe to drive ReadArrayBytes with (bounded sizes only).
+func FuzzOpenReader(f *testing.F) {
+	g := grid.NewUniform(4, 4, 4)
+	ds := grid.NewDataset(g)
+	fld := grid.NewField("v02", g.NumPoints())
+	for i := range fld.Values {
+		fld.Values[i] = float32(i) * 0.5
+	}
+	ds.MustAddField(fld)
+	for _, kind := range []compress.Kind{compress.None, compress.Gzip, compress.LZ4} {
+		var buf bytes.Buffer
+		if err := Write(&buf, ds, WriteOptions{Codec: kind, ChunkSize: 64}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(Magic))
+	f.Add([]byte("VND1\x00\x00\x00\x02{}"))
+	f.Add([]byte("VND1\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := OpenReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, a := range r.Header().Arrays {
+			if a.CompressedSize() > int64(len(data)) || a.RawSize() > maxFuzzRawSize {
+				continue
+			}
+			// Errors are expected on corrupt blocks; panics are not.
+			_, _ = r.ReadArrayBytes(a.Name)
+		}
+	})
+}

@@ -392,6 +392,21 @@ func OpenReader(src io.ReaderAt) (*Reader, error) {
 				rect.GridDims(), r.header.Grid().Dims)
 		}
 	}
+	// Validate array extents up front: ReadArrayBytes sizes buffers and
+	// slices from these fields, so a corrupt header with negative values
+	// must be rejected here rather than panic there.
+	for i := range r.header.Arrays {
+		a := &r.header.Arrays[i]
+		if a.Offset < 0 {
+			return nil, fmt.Errorf("vtkio: array %q has negative offset %d", a.Name, a.Offset)
+		}
+		for _, c := range a.Chunks {
+			if c.Comp < 0 || c.Raw < 0 {
+				return nil, fmt.Errorf("vtkio: array %q has negative chunk size (comp=%d raw=%d)",
+					a.Name, c.Comp, c.Raw)
+			}
+		}
+	}
 	return r, nil
 }
 
