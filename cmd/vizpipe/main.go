@@ -36,6 +36,7 @@ import (
 	"vizndp/internal/objstore"
 	"vizndp/internal/pipeline"
 	"vizndp/internal/render"
+	"vizndp/internal/rpc"
 	"vizndp/internal/s3fs"
 	"vizndp/internal/stats"
 	"vizndp/internal/telemetry"
@@ -71,6 +72,7 @@ func main() {
 		objOut    = flag.String("obj", "", "export the first contour mesh to this OBJ file")
 		sweep     = flag.Bool("sweep", false, "ndp: fetch every (array, isovalue) pair as its own concurrent request")
 		parallel  = flag.Int("parallel", 0, "sweep: max in-flight requests (0 = library default)")
+		retries   = flag.Int("retries", 1, "ndp: attempts per call; >1 uses the reconnecting fault-tolerant client")
 		repeats   = flag.Int("repeats", 1, "measurement repetitions")
 		verbose   = flag.Bool("v", false, "print the run's trace tree and metric deltas")
 	)
@@ -94,7 +96,7 @@ func main() {
 			log.Fatal("-sweep needs -mode ndp and an -ndp address")
 		}
 		if err := runSweep(*ndpAddr, *path, arrays, isovalues, enc,
-			*parallel, *repeats); err != nil {
+			*parallel, *retries, *repeats); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -128,7 +130,7 @@ func main() {
 		if *ndpAddr == "" {
 			log.Fatal("ndp mode needs -ndp address")
 		}
-		client, err := core.Dial(*ndpAddr, nil)
+		client, err := dialNDP(*ndpAddr, *retries)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -186,9 +188,13 @@ func main() {
 		}
 		if ndpSrc != nil && ndpSrc.Stats[a] != nil {
 			st := ndpSrc.Stats[a]
-			fmt.Printf("array %s: transferred %s of %s (%d points selected)\n",
+			mark := ""
+			if st.Degraded {
+				mark = " [degraded: raw transfer + local pre-filter]"
+			}
+			fmt.Printf("array %s: transferred %s of %s (%d points selected)%s\n",
 				a, stats.FormatBytes(st.PayloadBytes), stats.FormatBytes(st.RawBytes),
-				st.SelectedPoints)
+				st.SelectedPoints, mark)
 		}
 	}
 
@@ -291,9 +297,9 @@ func printDeltas(w io.Writer, before, after telemetry.Snapshot) {
 // and aggregate costs. Against a server with the array cache enabled,
 // requests sharing an array coalesce into a single storage read.
 func runSweep(ndpAddr, path string, arrays []string, isovalues []float64,
-	enc core.Encoding, parallel, repeats int) error {
+	enc core.Encoding, parallel, retries, repeats int) error {
 
-	client, err := core.Dial(ndpAddr, nil)
+	client, err := dialNDP(ndpAddr, retries)
 	if err != nil {
 		return err
 	}
@@ -409,6 +415,18 @@ func runThreshold(mode, dir, store, bucket, ndpAddr, path string,
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
+}
+
+// dialNDP picks the client flavor by the -retries flag: the plain
+// fail-fast client at 1, the reconnecting fault-tolerant client (with
+// graceful degradation to raw transfers) above.
+func dialNDP(addr string, retries int) (*core.Client, error) {
+	if retries > 1 {
+		return core.DialFaultTolerant(addr, nil, rpc.ReconnectOptions{
+			MaxAttempts: retries,
+		}), nil
+	}
+	return core.Dial(addr, nil)
 }
 
 func parseFloats(csv string) ([]float64, error) {

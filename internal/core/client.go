@@ -10,14 +10,48 @@ import (
 	"vizndp/internal/contour"
 	"vizndp/internal/grid"
 	"vizndp/internal/rpc"
+	"vizndp/internal/telemetry"
 	"vizndp/internal/vtkio"
 )
+
+// mClientFallbacks counts degraded fetches: pre-filtered fetches that
+// failed remotely and were served by FetchRaw plus a local pre-filter.
+var mClientFallbacks = telemetry.Default().Counter("core.client.fallbacks")
+
+var clientLog = telemetry.Logger("ndpclient")
+
+// Caller is the RPC surface Client needs. Both *rpc.Client (one
+// connection, fail-fast) and *rpc.ReconnectClient (retries, re-dials)
+// implement it.
+type Caller interface {
+	CallContext(ctx context.Context, method string, args ...any) (any, error)
+	Close() error
+}
 
 // Client drives a remote NDP server. It is the client-side counterpart
 // of the storage-side partial pipeline: it requests pre-filtered
 // payloads and hands them to the post-filter.
 type Client struct {
-	rpc *rpc.Client
+	rpc Caller
+	// fallback enables graceful degradation: a pre-filtered fetch whose
+	// RPC fails (after whatever retries the Caller performs) falls back
+	// to FetchRaw plus a local pre-filter pass, so the contour still
+	// renders — just without the transfer reduction.
+	fallback bool
+}
+
+// RetryableMethods returns the NDP methods safe to retry after a
+// transport failure. Every current method is a read-only fetch, so all
+// are idempotent; a method with side effects must not be added here.
+func RetryableMethods() map[string]bool {
+	return map[string]bool{
+		MethodList:       true,
+		MethodDescribe:   true,
+		MethodFetch:      true,
+		MethodFetchRange: true,
+		MethodFetchSlice: true,
+		MethodFetchRaw:   true,
+	}
 }
 
 // Dial connects to an NDP server at addr, optionally through a custom
@@ -28,6 +62,23 @@ func Dial(addr string, dialFn func(network, addr string) (net.Conn, error)) (*Cl
 		return nil, err
 	}
 	return &Client{rpc: c}, nil
+}
+
+// DialFaultTolerant returns a client that survives storage-node
+// restarts, dropped connections, and slow links: calls are retried with
+// backoff on transport failures (all NDP methods are idempotent reads
+// unless opts.Retryable narrows the set), dead connections are
+// re-dialed lazily, and a pre-filtered fetch that still fails degrades
+// to FetchRaw plus a local pre-filter pass. No connection is made until
+// the first call, so the server may come up later.
+func DialFaultTolerant(addr string, dialFn func(network, addr string) (net.Conn, error), opts rpc.ReconnectOptions) *Client {
+	if opts.Retryable == nil {
+		opts.Retryable = RetryableMethods()
+	}
+	return &Client{
+		rpc:      rpc.NewReconnectClient("tcp", addr, dialFn, opts),
+		fallback: true,
+	}
 }
 
 // NewClient wraps an established connection.
@@ -179,6 +230,11 @@ type FetchStats struct {
 	PayloadBytes int64
 	// SelectedPoints is the number of transferred mesh points.
 	SelectedPoints int
+	// Degraded marks a fetch served by the fallback path: the remote
+	// pre-filter was unreachable, so the whole raw array crossed the
+	// network and the pre-filter ran locally. PayloadBytes then reports
+	// the raw transfer, keeping the cost accounting honest.
+	Degraded bool
 }
 
 // FetchFiltered asks the server to pre-filter one array for the given
@@ -198,9 +254,70 @@ func (c *Client) FetchFilteredContext(ctx context.Context, path, array string, i
 	start := time.Now()
 	res, err := c.rpc.CallContext(ctx, MethodFetch, path, array, isos, enc.String())
 	if err != nil {
-		return nil, nil, err
+		if !c.fallback || ctx.Err() != nil {
+			return nil, nil, err
+		}
+		payload, st, ferr := c.fetchFilteredFallback(ctx, path, array, isovalues, enc, start)
+		if ferr != nil {
+			// The degraded path failed too; the original error names the
+			// root cause, the fallback error says why degradation could
+			// not mask it.
+			return nil, nil, fmt.Errorf("core: pre-filtered fetch failed (%w); fallback also failed: %w", err, ferr)
+		}
+		clientLog.Warn("pre-filtered fetch degraded to raw transfer",
+			"path", path, "array", array, "err", err)
+		return payload, st, nil
 	}
 	return decodeFetchResult(res, time.Since(start))
+}
+
+// fetchFilteredFallback is the graceful-degradation path: pull the whole
+// raw array and run the pre-filter locally. The produced payload is
+// bit-identical to what the storage-side pre-filter would have sent —
+// both sides run the same PreFilter over the same decoded float32
+// values — so downstream contours cannot tell the difference; only the
+// transfer cost (and FetchStats.Degraded) changes.
+func (c *Client) fetchFilteredFallback(ctx context.Context, path, array string, isovalues []float64, enc Encoding, start time.Time) (*Payload, *FetchStats, error) {
+	_, span := telemetry.StartSpan(ctx, "fallback.prefilter")
+	defer span.End()
+	span.SetAttr("path", path)
+	span.SetAttr("array", array)
+	desc, err := c.DescribeContext(ctx, path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("describe: %w", err)
+	}
+	raw, readTime, err := c.FetchRawContext(ctx, path, array)
+	if err != nil {
+		return nil, nil, fmt.Errorf("raw fetch: %w", err)
+	}
+	vals, err := vtkio.BytesToFloats(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(vals) != desc.Grid.NumPoints() {
+		return nil, nil, fmt.Errorf("raw array %q has %d values, grid has %d points",
+			array, len(vals), desc.Grid.NumPoints())
+	}
+	pre := &PreFilter{Isovalues: isovalues, Encoding: enc}
+	payload, pst, err := pre.Run(desc.Grid, &grid.Field{Name: array, Values: vals})
+	if err != nil {
+		return nil, nil, err
+	}
+	mClientFallbacks.Inc()
+	span.SetAttr("selected", pst.SelectedPoints)
+	stats := &FetchStats{
+		ReadTime:       readTime,
+		FilterTime:     pst.FilterTime,
+		TotalTime:      time.Since(start),
+		RawBytes:       pst.RawBytes,
+		PayloadBytes:   int64(len(raw)),
+		SelectedPoints: pst.SelectedPoints,
+		Degraded:       true,
+	}
+	if rest := stats.TotalTime - stats.ReadTime - stats.FilterTime; rest > 0 {
+		stats.TransferTime = rest
+	}
+	return payload, stats, nil
 }
 
 // MultiRequest names one pre-filtered fetch in a FetchFilteredMulti
@@ -248,15 +365,19 @@ func (c *Client) FetchFilteredMultiContext(ctx context.Context, reqs []MultiRequ
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	for i := range reqs {
+		// Acquire the slot before spawning so at most parallelism
+		// goroutines ever exist; spawning first and acquiring inside
+		// would briefly stand up one goroutine per request.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			results[i].Err = ctx.Err()
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				results[i].Err = err
-				return
-			}
 			r := &reqs[i]
 			results[i].Payload, results[i].Stats, results[i].Err =
 				c.FetchFilteredContext(ctx, r.Path, r.Array, r.Isovalues, r.Encoding)

@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultsExperimentSurvives drives the full three-run fault campaign:
+// the experiment itself errors unless every fault class fired and every
+// faulted/degraded payload matched the clean run bit for bit, so a nil
+// error here is the whole assertion.
+func TestFaultsExperimentSurvives(t *testing.T) {
+	tbl, err := env.FaultsExperiment("v03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"clean", "faulted", "no-retry fallback", "injected"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q row:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "0 conns killed") {
+		t.Errorf("table reports no injected conn kills:\n%s", out)
+	}
+}

@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestFaultDialRefusalSchedule(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	link := Unlimited()
+	f := &Faults{RefuseDialEvery: 2}
+	link.SetFaults(f)
+	for i := 1; i <= 4; i++ {
+		c, err := link.Dial("tcp", ln.Addr().String())
+		if i%2 == 0 {
+			if !errors.Is(err, ErrDialRefused) {
+				t.Errorf("dial %d: err = %v, want ErrDialRefused", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		c.Close()
+	}
+	if got := f.Stats().DialsRefused; got != 2 {
+		t.Errorf("DialsRefused = %d, want 2", got)
+	}
+}
+
+func TestFaultConnKillTruncatesMidFrame(t *testing.T) {
+	link := Unlimited()
+	f := &Faults{KillConnEvery: 1, KillAfterBytes: 1000}
+	link.SetFaults(f)
+	client, server := link.Pipe()
+	defer client.Close()
+
+	got := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(client)
+		got <- b
+	}()
+	n, err := server.Write(make([]byte, 4096))
+	if !errors.Is(err, ErrConnKilled) {
+		t.Fatalf("write err = %v, want ErrConnKilled", err)
+	}
+	if n != 1000 {
+		t.Errorf("write admitted %d bytes, want exactly the 1000-byte budget", n)
+	}
+	// The peer sees the truncated prefix, then EOF — exactly the wire
+	// state a crashed storage node leaves behind.
+	select {
+	case b := <-got:
+		if len(b) != 1000 {
+			t.Errorf("peer read %d bytes, want 1000", len(b))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer read did not complete")
+	}
+	// The connection stays dead for later writes without recounting.
+	if _, err := server.Write([]byte{1}); !errors.Is(err, ErrConnKilled) {
+		t.Errorf("write on dead conn = %v, want ErrConnKilled", err)
+	}
+	st := f.Stats()
+	if st.ConnsKilled != 1 {
+		t.Errorf("ConnsKilled = %d, want 1", st.ConnsKilled)
+	}
+	if st.FramesTruncated != 1 {
+		t.Errorf("FramesTruncated = %d, want 1", st.FramesTruncated)
+	}
+}
+
+func TestFaultKillTargetsAcceptedSideOnly(t *testing.T) {
+	link := Unlimited()
+	link.SetFaults(&Faults{KillConnEvery: 1, KillAfterBytes: 100})
+	client, server := link.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		n, _ := io.ReadFull(server, make([]byte, 4096))
+		done <- n
+	}()
+	// The dialer side carries requests, not payloads; its writes are
+	// never budget-killed.
+	if _, err := client.Write(make([]byte, 4096)); err != nil {
+		t.Fatalf("dialer-side write = %v, want nil", err)
+	}
+	select {
+	case n := <-done:
+		if n != 4096 {
+			t.Errorf("server read %d bytes, want 4096", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server read did not complete")
+	}
+}
+
+func TestFaultKillAfterTime(t *testing.T) {
+	link := Unlimited()
+	f := &Faults{KillAfterTime: 20 * time.Millisecond}
+	link.SetFaults(f)
+	client, server := link.Pipe()
+	defer client.Close()
+
+	go io.Copy(io.Discard, client)
+	time.Sleep(50 * time.Millisecond)
+	if _, err := server.Write([]byte("late")); !errors.Is(err, ErrConnKilled) {
+		t.Fatalf("write after lifetime = %v, want ErrConnKilled", err)
+	}
+	if got := f.Stats().ConnsKilled; got != 1 {
+		t.Errorf("ConnsKilled = %d, want 1", got)
+	}
+}
+
+func TestFaultLatencySpikes(t *testing.T) {
+	link := Unlimited()
+	f := &Faults{SpikeEvery: 1, SpikeLatency: 30 * time.Millisecond}
+	link.SetFaults(f)
+	client, server := link.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	go io.Copy(io.Discard, client)
+	start := time.Now()
+	if _, err := server.Write(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("spiked write took %v, want >= ~30ms", elapsed)
+	}
+	if got := f.Stats().LatencySpikes; got != 1 {
+		t.Errorf("LatencySpikes = %d, want 1", got)
+	}
+}
+
+func TestFaultBudgetJitterDeterministic(t *testing.T) {
+	budgets := func(seed int64) []int64 {
+		f := &Faults{
+			Seed:           seed,
+			KillConnEvery:  1,
+			KillAfterBytes: 1000,
+			JitterBytes:    500,
+		}
+		out := make([]int64, 8)
+		for i := range out {
+			cf := f.newConnFaults()
+			if !cf.armed {
+				t.Fatalf("connection %d not armed with KillConnEvery=1", i+1)
+			}
+			if cf.budget < 1000 || cf.budget > 1500 {
+				t.Fatalf("budget %d outside [1000, 1500]", cf.budget)
+			}
+			out[i] = cf.budget
+		}
+		return out
+	}
+	a, b := budgets(3), budgets(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at conn %d: %d vs %d", i+1, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultPolicyDetached(t *testing.T) {
+	link := Unlimited()
+	f := &Faults{RefuseDialEvery: 1, KillConnEvery: 1, KillAfterBytes: 1}
+	link.SetFaults(f)
+	if link.Faults() != f {
+		t.Fatal("Faults() did not return the attached policy")
+	}
+	link.SetFaults(nil)
+	// A detached policy must stop influencing new connections entirely.
+	client, server := link.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go io.Copy(io.Discard, client)
+	if _, err := server.Write(make([]byte, 64)); err != nil {
+		t.Errorf("write after detach = %v, want nil", err)
+	}
+}

@@ -49,7 +49,19 @@ type Link struct {
 
 	sent atomic.Int64
 	recv atomic.Int64
+
+	// faults, when set, injects the attached policy's failures into the
+	// link's dials and connections.
+	faults atomic.Pointer[Faults]
 }
+
+// SetFaults attaches a fault-injection policy to the link; nil detaches
+// it. Connections wrapped after the call observe the new policy;
+// already-wrapped connections keep the fault state they were born with.
+func (l *Link) SetFaults(f *Faults) { l.faults.Store(f) }
+
+// Faults returns the attached policy, or nil.
+func (l *Link) Faults() *Faults { return l.faults.Load() }
 
 // NewLink returns a link with the given capacity in bits per second
 // (use the Mbps/Gbps constants) and one-way latency. A non-positive
@@ -151,39 +163,74 @@ func sleepUntil(deadline time.Time) {
 // endpoints of a connection should be wrapped (listener side and dialer
 // side) so that each direction's traffic is paced exactly once, by its
 // sender.
+//
+// A connection wrapped via Conn counts as dialer-side for the attached
+// fault policy: latency spikes apply, connection kills do not (kills
+// target accepted connections — the payload direction). Listener and
+// Pipe wrap the server side as accepted.
 func (l *Link) Conn(c net.Conn) net.Conn {
-	return &shapedConn{Conn: c, link: l}
+	return l.wrap(c, false)
+}
+
+// wrap builds the shaped connection; accepted connections additionally
+// roll per-connection kill state from the attached fault policy.
+func (l *Link) wrap(c net.Conn, accepted bool) net.Conn {
+	s := &shapedConn{Conn: c, link: l}
+	if f := l.Faults(); f != nil && accepted {
+		s.cf = f.newConnFaults()
+	}
+	return s
 }
 
 type shapedConn struct {
 	net.Conn
 	link *Link
+	cf   *connFaults // kill state; nil when no faults or dialer-side
 }
 
 func (s *shapedConn) Write(b []byte) (int, error) {
+	faults := s.link.Faults()
 	total := 0
 	for len(b) > 0 {
 		chunk := b
 		if len(chunk) > maxBurst {
 			chunk = chunk[:maxBurst]
 		}
-		// Only pay the OS timer when the accumulated pacing debt is
-		// large enough to be worth it; the link's horizon carries small
-		// debts forward, so long-run throughput stays exact.
-		if deadline := s.link.reserve(len(chunk)); !deadline.IsZero() {
-			if wait := time.Until(deadline); wait >= minSleep {
-				sleepUntil(deadline)
-				mDelayNanos.Add(int64(wait))
+		if faults != nil {
+			faults.onWrite() // latency spike schedule
+		}
+		kill := false
+		if s.cf != nil {
+			var allowed int
+			allowed, kill = s.cf.admit(len(chunk))
+			chunk = chunk[:allowed]
+		}
+		if len(chunk) > 0 {
+			// Only pay the OS timer when the accumulated pacing debt is
+			// large enough to be worth it; the link's horizon carries small
+			// debts forward, so long-run throughput stays exact.
+			if deadline := s.link.reserve(len(chunk)); !deadline.IsZero() {
+				if wait := time.Until(deadline); wait >= minSleep {
+					sleepUntil(deadline)
+					mDelayNanos.Add(int64(wait))
+				}
 			}
+			n, err := s.Conn.Write(chunk)
+			total += n
+			s.link.sent.Add(int64(n))
+			mBytesSent.Add(int64(n))
+			if err != nil {
+				return total, err
+			}
+			b = b[n:]
 		}
-		n, err := s.Conn.Write(chunk)
-		total += n
-		s.link.sent.Add(int64(n))
-		mBytesSent.Add(int64(n))
-		if err != nil {
-			return total, err
+		if kill {
+			// The injected death: whatever prefix was admitted is on the
+			// wire (a truncated frame when it cut mid-chunk); both
+			// directions go down with the underlying connection.
+			s.Conn.Close()
+			return total, ErrConnKilled
 		}
-		b = b[n:]
 	}
 	return total, nil
 }
@@ -210,12 +257,18 @@ func (s *shapedListener) Accept() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.link.Conn(c), nil
+	return s.link.wrap(c, true), nil
 }
 
 // Dial connects to addr over TCP, charges the connection-setup latency,
-// and returns a shaped connection.
+// and returns a shaped connection. An attached fault policy may refuse
+// the dial according to its schedule.
 func (l *Link) Dial(network, addr string) (net.Conn, error) {
+	if f := l.Faults(); f != nil {
+		if err := f.onDial(); err != nil {
+			return nil, err
+		}
+	}
 	c, err := net.Dial(network, addr)
 	if err != nil {
 		return nil, err
@@ -229,8 +282,9 @@ func (l *Link) Dial(network, addr string) (net.Conn, error) {
 
 // Pipe returns an in-memory connection pair whose client->server and
 // server->client directions are both shaped by the link. Useful for
-// tests that avoid real sockets.
+// tests that avoid real sockets. The server end counts as accepted for
+// the attached fault policy.
 func (l *Link) Pipe() (client, server net.Conn) {
 	c, s := net.Pipe()
-	return l.Conn(c), l.Conn(s)
+	return l.Conn(c), l.wrap(s, true)
 }

@@ -1,0 +1,289 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"vizndp/internal/telemetry"
+)
+
+// Fault-tolerance metrics: how often calls were retried after a
+// transport failure and how often the underlying connection had to be
+// re-established.
+var (
+	mClientRetries    = telemetry.Default().Counter("rpc.client.retries")
+	mClientReconnects = telemetry.Default().Counter("rpc.client.reconnects")
+)
+
+// Defaults for ReconnectOptions zero values.
+const (
+	DefaultMaxAttempts    = 4
+	DefaultInitialBackoff = 10 * time.Millisecond
+	DefaultMaxBackoff     = 1 * time.Second
+)
+
+// ReconnectOptions configures a ReconnectClient.
+type ReconnectOptions struct {
+	// MaxAttempts is the total number of tries per call, first attempt
+	// included. <= 0 means DefaultMaxAttempts. Only methods in Retryable
+	// get more than one attempt.
+	MaxAttempts int
+	// InitialBackoff is the sleep before the first retry; it doubles per
+	// retry up to MaxBackoff. Zero values take the defaults.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	// CallTimeout bounds each individual attempt (not the whole call).
+	// An attempt that exceeds it is treated like a dead connection: the
+	// connection is dropped and, for retryable methods, the call retries
+	// on a fresh one. Zero means no per-attempt deadline.
+	CallTimeout time.Duration
+	// Retryable is the set of methods safe to re-issue after a transport
+	// failure: a retried call may execute twice on the server (the reply
+	// to the first try can be lost after the handler ran), so only
+	// idempotent methods — read-only fetches — belong here. A nil or
+	// empty set disables retries entirely; reconnection still happens
+	// lazily on the next call.
+	Retryable map[string]bool
+	// Seed makes the retry jitter deterministic for tests and harness
+	// runs; 0 seeds from the default source.
+	Seed int64
+}
+
+// withDefaults fills in the zero values.
+func (o ReconnectOptions) withDefaults() ReconnectOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.InitialBackoff <= 0 {
+		o.InitialBackoff = DefaultInitialBackoff
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = DefaultMaxBackoff
+	}
+	return o
+}
+
+// ReconnectClient is a fault-tolerant wrapper around Client: it dials
+// lazily, re-dials when the connection dies, bounds each attempt with a
+// per-call deadline, and retries idempotent methods with exponential
+// backoff plus jitter. Application-level errors (ServerError) and
+// caller cancellations are never retried; transport failures — the
+// cause-carrying shutdown errors a poisoned Client reports — are, for
+// methods declared retryable.
+//
+// It is safe for concurrent use; concurrent calls share one underlying
+// connection, and a reconnect replaces it for all of them.
+type ReconnectClient struct {
+	network string
+	addr    string
+	dialFn  func(network, addr string) (net.Conn, error)
+	opts    ReconnectOptions
+
+	mu        sync.Mutex
+	cur       *Client
+	connected bool // a dial has succeeded at least once
+	closed    bool
+	rng       *rand.Rand
+}
+
+// NewReconnectClient returns a fault-tolerant client for addr. No
+// connection is made until the first call, so the target may come up
+// after the client is created. dialFn nil means net.Dial.
+func NewReconnectClient(network, addr string, dialFn func(network, addr string) (net.Conn, error), opts ReconnectOptions) *ReconnectClient {
+	opts = opts.withDefaults()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &ReconnectClient{
+		network: network,
+		addr:    addr,
+		dialFn:  dialFn,
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// conn returns the current connection, dialing a new one when none is
+// live. Dialing happens outside the mutex; when two callers race, the
+// loser's connection is closed and the winner's shared.
+func (rc *ReconnectClient) conn(ctx context.Context) (*Client, error) {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	if c := rc.cur; c != nil {
+		rc.mu.Unlock()
+		return c, nil
+	}
+	reconnecting := rc.connected
+	rc.mu.Unlock()
+
+	var span *telemetry.Span
+	if reconnecting && telemetry.SpanFromContext(ctx) != nil {
+		_, span = telemetry.StartSpan(ctx, "reconnect")
+		span.SetAttr("addr", rc.addr)
+	}
+	c, err := Dial(rc.network, rc.addr, rc.dialFn)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		span.End()
+		return nil, err
+	}
+	span.End()
+
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		c.Close()
+		return nil, ErrShutdown
+	}
+	if rc.cur != nil {
+		winner := rc.cur
+		rc.mu.Unlock()
+		c.Close()
+		return winner, nil
+	}
+	rc.cur = c
+	if rc.connected {
+		mClientReconnects.Inc()
+		logger.Debug("reconnected", "addr", rc.addr)
+	}
+	rc.connected = true
+	rc.mu.Unlock()
+	return c, nil
+}
+
+// drop discards dead if it is still the current connection; the next
+// call re-dials.
+func (rc *ReconnectClient) drop(dead *Client) {
+	rc.mu.Lock()
+	if rc.cur == dead {
+		rc.cur = nil
+	}
+	rc.mu.Unlock()
+	dead.Close()
+}
+
+// Close shuts the client down; subsequent calls fail with ErrShutdown.
+func (rc *ReconnectClient) Close() error {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return nil
+	}
+	rc.closed = true
+	c := rc.cur
+	rc.cur = nil
+	rc.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// Call invokes method with args, reconnecting and retrying as configured.
+func (rc *ReconnectClient) Call(method string, args ...any) (any, error) {
+	return rc.CallContext(context.Background(), method, args...)
+}
+
+// CallContext invokes method with args under ctx. Transport failures
+// (dead connection, failed dial, per-attempt timeout) are retried with
+// exponential backoff for methods in the retryable set; server-side
+// handler errors and a cancelled ctx return immediately.
+func (rc *ReconnectClient) CallContext(ctx context.Context, method string, args ...any) (any, error) {
+	for attempt := 1; ; attempt++ {
+		result, err := rc.tryOnce(ctx, method, args)
+		if err == nil {
+			return result, nil
+		}
+		if !rc.retryableFailure(ctx, method, err) || attempt >= rc.opts.MaxAttempts {
+			return nil, err
+		}
+		mClientRetries.Inc()
+		logger.Debug("retrying call", "method", method, "attempt", attempt, "err", err)
+		if werr := rc.backoff(ctx, attempt); werr != nil {
+			return nil, werr
+		}
+	}
+}
+
+// tryOnce runs one attempt: obtain a connection, apply the per-attempt
+// deadline, issue the call, and drop the connection on transport death.
+func (rc *ReconnectClient) tryOnce(ctx context.Context, method string, args []any) (any, error) {
+	c, err := rc.conn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cctx := ctx
+	if rc.opts.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, rc.opts.CallTimeout)
+		defer cancel()
+	}
+	result, err := c.CallContext(cctx, method, args...)
+	if err != nil && rc.connectionDead(ctx, err) {
+		rc.drop(c)
+	}
+	return result, err
+}
+
+// connectionDead reports whether err means the attempt's connection can
+// no longer be trusted: a poisoned client (sticky shutdown) or a
+// per-attempt deadline that the parent context did not cause (the call
+// may be stuck behind a dead or pathologically slow peer).
+func (rc *ReconnectClient) connectionDead(ctx context.Context, err error) bool {
+	if errors.Is(err, ErrShutdown) {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil
+}
+
+// retryableFailure reports whether the call may be re-issued: the
+// method must be declared idempotent, the caller's context still live,
+// and the error a transport failure rather than a server-side result.
+func (rc *ReconnectClient) retryableFailure(ctx context.Context, method string, err error) bool {
+	if !rc.opts.Retryable[method] {
+		return false
+	}
+	if ctx.Err() != nil {
+		return false
+	}
+	var se ServerError
+	if errors.As(err, &se) {
+		return false
+	}
+	// A closed ReconnectClient must not spin on ErrShutdown.
+	rc.mu.Lock()
+	closed := rc.closed
+	rc.mu.Unlock()
+	return !closed
+}
+
+// backoff sleeps before retry attempt+1: exponential from
+// InitialBackoff, capped at MaxBackoff, with a uniform jitter in
+// [50%, 100%] of the computed delay so synchronized clients do not
+// reconnect in lockstep. Returns early with the context's error when
+// ctx is cancelled mid-sleep.
+func (rc *ReconnectClient) backoff(ctx context.Context, attempt int) error {
+	d := rc.opts.InitialBackoff << (attempt - 1)
+	if d > rc.opts.MaxBackoff || d <= 0 {
+		d = rc.opts.MaxBackoff
+	}
+	rc.mu.Lock()
+	jittered := d/2 + time.Duration(rc.rng.Int63n(int64(d/2)+1))
+	rc.mu.Unlock()
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

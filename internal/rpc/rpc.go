@@ -68,6 +68,32 @@ const MaxFrameSize = 1 << 30
 // ErrShutdown is returned for calls on a closed client.
 var ErrShutdown = errors.New("rpc: client is shut down")
 
+// shutdownError is the sticky error a client records when its connection
+// dies underneath it (peer crash, write failure, protocol error). It
+// matches errors.Is(err, ErrShutdown) like an explicit Close does, but
+// keeps the underlying transport failure reachable through Unwrap so
+// callers — the retry layer above all — can distinguish a peer crash
+// (cause-carrying) from a local Close (bare ErrShutdown) and inspect the
+// cause (io.EOF, io.ErrUnexpectedEOF, net errors).
+type shutdownError struct{ cause error }
+
+func (e *shutdownError) Error() string {
+	return fmt.Sprintf("rpc: client is shut down: %v", e.cause)
+}
+
+func (e *shutdownError) Is(target error) bool { return target == ErrShutdown }
+
+func (e *shutdownError) Unwrap() error { return e.cause }
+
+// shutdownWith wraps cause as a sticky shutdown error; a nil cause is an
+// explicit local shutdown and stays the bare ErrShutdown sentinel.
+func shutdownWith(cause error) error {
+	if cause == nil || cause == ErrShutdown {
+		return ErrShutdown
+	}
+	return &shutdownError{cause: cause}
+}
+
 // ServerError is an error string returned by the remote side.
 type ServerError string
 
@@ -449,11 +475,23 @@ func (c *Client) readLoop() {
 			logger.Debug("discarding response for unknown msgid", "msgid", msgid)
 		}
 	}
+	c.fail(loopErr)
+}
+
+// fail poisons the client: the connection's stream state is unknown (a
+// partial frame write, a read error, a dead peer), so no further frame
+// can safely be sent or interpreted. It closes the connection, fails
+// every pending call, and makes the error sticky — all later calls get
+// the same cause-carrying shutdown error. The first failure wins; a
+// client poisoned twice keeps its original cause. Returns the sticky
+// error.
+func (c *Client) fail(cause error) error {
 	c.mu.Lock()
-	c.closed = true
 	if c.err == nil {
-		c.err = loopErr
+		c.err = shutdownWith(cause)
 	}
+	c.closed = true
+	err := c.err
 	// Detach the pending map under the lock but deliver shutdown errors
 	// after releasing it: the channels are buffered today, but sending
 	// while holding c.mu would deadlock against any future unbuffered
@@ -461,9 +499,11 @@ func (c *Client) readLoop() {
 	pending := c.pending
 	c.pending = make(map[int64]chan response)
 	c.mu.Unlock()
+	c.conn.Close()
 	for _, ch := range pending {
-		ch <- response{err: ErrShutdown}
+		ch <- response{err: err}
 	}
+	return err
 }
 
 func decodeResponse(body []byte) (int64, response, error) {
@@ -587,8 +627,12 @@ func (c *Client) send(method string, args []any, wireCtx string) (chan response,
 	err = writeFrame(c.conn, body)
 	c.wmu.Unlock()
 	if err != nil {
+		// A failed frame write may have left a partial frame on the wire,
+		// desyncing the length-prefixed stream: every later frame would be
+		// read from the middle of this one. The client is unusable — poison
+		// it rather than let later calls read garbage or hang.
 		c.abandon(msgid)
-		return nil, 0, err
+		return nil, 0, c.fail(err)
 	}
 	mClientBytesOut.Add(int64(len(body) + 4))
 	return ch, msgid, nil
@@ -621,7 +665,10 @@ func (c *Client) Notify(method string, args ...any) error {
 	err := writeFrame(c.conn, body)
 	c.wmu.Unlock()
 	if err != nil {
-		return err
+		// Same treatment as send: the stream may hold a partial frame, and
+		// a Close that raced this write should surface the sticky shutdown
+		// error, not the raw "use of closed network connection" error.
+		return c.fail(err)
 	}
 	mClientBytesOut.Add(int64(len(body) + 4))
 	return nil
