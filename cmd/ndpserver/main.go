@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io/fs"
@@ -19,10 +21,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"vizndp/internal/core"
 	"vizndp/internal/netsim"
 	"vizndp/internal/objstore"
+	"vizndp/internal/rpc"
 	"vizndp/internal/s3fs"
 	"vizndp/internal/telemetry"
 )
@@ -37,6 +41,9 @@ func main() {
 		store    = flag.String("store", "", "object store address to mount instead of -dir")
 		bucket   = flag.String("bucket", "sim", "object store bucket")
 		cacheB   = flag.Int64("cache-bytes", 0, "decoded-array cache budget in bytes (0 = off)")
+		maxInFl  = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = unbounded)")
+		queue    = flag.Int("queue", 0, "admission queue length beyond -max-inflight; full queue sheds with a retryable busy error")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight requests finish on SIGINT")
 		gbps     = flag.Float64("gbps", 0, "shape client traffic to this many Gb/s (0 = unshaped)")
 		latency  = flag.Duration("latency", 0, "one-way link latency to charge")
 		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/trace, and pprof on this address")
@@ -57,7 +64,8 @@ func main() {
 		fsys = s3fs.New(objstore.NewClient(*store, nil), *bucket)
 	}
 
-	srv := core.NewServer(fsys, core.WithCacheBytes(*cacheB))
+	srv := core.NewServer(fsys, core.WithCacheBytes(*cacheB),
+		core.WithMaxInFlight(*maxInFl), core.WithQueue(*queue))
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -88,9 +96,17 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
-		srv.Close()
+		// Graceful drain: stop accepting, shed new requests with the
+		// retryable busy error, and give in-flight fetches -drain-timeout
+		// to finish before cutting them off.
+		log.Printf("draining (up to %v)", *drainFor)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
 	}()
-	if err := srv.Serve(ln); err != nil {
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, rpc.ErrShutdown) {
 		log.Fatal(err)
 	}
 }

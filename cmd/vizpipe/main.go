@@ -61,6 +61,7 @@ func main() {
 		store     = flag.String("store", "", "baseline: object store address")
 		bucket    = flag.String("bucket", "sim", "object store bucket")
 		ndpAddr   = flag.String("ndp", "", "ndp: address of the ndpserver")
+		replicas  = flag.String("replicas", "", "ndp: comma-separated replica ndpserver addresses; calls route to the healthiest and fail over on busy/dead replicas")
 		path      = flag.String("path", "", "dataset file path/key")
 		arraysCSV = flag.String("arrays", "v02", "comma-separated data arrays to contour")
 		isoCSV    = flag.String("iso", "0.1", "comma-separated contour values")
@@ -92,10 +93,10 @@ func main() {
 	}
 
 	if *sweep {
-		if *mode != "ndp" || *ndpAddr == "" {
-			log.Fatal("-sweep needs -mode ndp and an -ndp address")
+		if *mode != "ndp" || (*ndpAddr == "" && *replicas == "") {
+			log.Fatal("-sweep needs -mode ndp and an -ndp or -replicas address")
 		}
-		if err := runSweep(*ndpAddr, *path, arrays, isovalues, enc,
+		if err := runSweep(*ndpAddr, *replicas, *path, arrays, isovalues, enc,
 			*parallel, *retries, *repeats); err != nil {
 			log.Fatal(err)
 		}
@@ -127,10 +128,10 @@ func main() {
 		}
 		source = &pipeline.FileSource{FS: fsys, Path: *path, Arrays: arrays}
 	case "ndp":
-		if *ndpAddr == "" {
-			log.Fatal("ndp mode needs -ndp address")
+		if *ndpAddr == "" && *replicas == "" {
+			log.Fatal("ndp mode needs an -ndp or -replicas address")
 		}
-		client, err := dialNDP(*ndpAddr, *retries)
+		client, err := dialNDP(*ndpAddr, *replicas, *retries)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -296,10 +297,10 @@ func printDeltas(w io.Writer, before, after telemetry.Snapshot) {
 // multiplexed connection with FetchFilteredMulti and reports per-request
 // and aggregate costs. Against a server with the array cache enabled,
 // requests sharing an array coalesce into a single storage read.
-func runSweep(ndpAddr, path string, arrays []string, isovalues []float64,
+func runSweep(ndpAddr, replicas, path string, arrays []string, isovalues []float64,
 	enc core.Encoding, parallel, retries, repeats int) error {
 
-	client, err := dialNDP(ndpAddr, retries)
+	client, err := dialNDP(ndpAddr, replicas, retries)
 	if err != nil {
 		return err
 	}
@@ -417,10 +418,23 @@ func runThreshold(mode, dir, store, bucket, ndpAddr, path string,
 	}
 }
 
-// dialNDP picks the client flavor by the -retries flag: the plain
-// fail-fast client at 1, the reconnecting fault-tolerant client (with
-// graceful degradation to raw transfers) above.
-func dialNDP(addr string, retries int) (*core.Client, error) {
+// dialNDP picks the client flavor by the flags: a replica pool (healthiest
+// routing + transparent failover) when -replicas lists addresses, else the
+// plain fail-fast client at -retries 1 or the reconnecting fault-tolerant
+// client (with graceful degradation to raw transfers) above.
+func dialNDP(addr, replicas string, retries int) (*core.Client, error) {
+	if replicas != "" {
+		addrs := strings.Split(replicas, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		opts := core.PoolOptions{}
+		if retries > 1 {
+			opts.Reconnect.MaxAttempts = retries
+		}
+		client, _ := core.DialPool(addrs, nil, opts)
+		return client, nil
+	}
 	if retries > 1 {
 		return core.DialFaultTolerant(addr, nil, rpc.ReconnectOptions{
 			MaxAttempts: retries,

@@ -63,3 +63,54 @@ func closureOwnLock(c *counter, ch chan int) {
 		ch <- c.n
 	}()
 }
+
+// admissionShape mirrors an admission-control queue: the counter is
+// updated under the lock, but the blocking select on the slot channel
+// happens only after the explicit unlock.
+func admissionShape(c *counter, slots chan struct{}, done chan struct{}) error {
+	select {
+	case slots <- struct{}{}:
+		return nil
+	default:
+	}
+	c.mu.Lock()
+	if c.n > 8 {
+		c.mu.Unlock()
+		return errFail
+	}
+	c.n++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.n--
+		c.mu.Unlock()
+	}()
+	select {
+	case slots <- struct{}{}:
+		return nil
+	case <-done:
+		return errFail
+	}
+}
+
+// drainShape mirrors a graceful drain: closing an idle channel while the
+// lock is held never blocks, so it is fine under the mutex.
+func drainShape(c *counter, idle chan struct{}) {
+	c.mu.Lock()
+	c.n--
+	if c.n == 0 && idle != nil {
+		close(idle)
+	}
+	c.mu.Unlock()
+}
+
+// breakerShape mirrors a circuit breaker: pure bookkeeping under the
+// lock, with time arithmetic but no blocking operations.
+func breakerShape(c *counter, now, openUntil time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n >= 3 && now.Before(openUntil) {
+		return false
+	}
+	return true
+}

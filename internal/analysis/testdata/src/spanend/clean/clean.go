@@ -43,3 +43,17 @@ func escapes(ctx context.Context) (context.Context, func()) {
 	ctx, span := telemetry.StartSpan(ctx, "run")
 	return ctx, span.End
 }
+
+// deadlineShape mirrors a handler whose span is annotated and ended on
+// both the deadline-expired path and the normal path.
+func deadlineShape(ctx context.Context, fail bool) error {
+	ctx, span := telemetry.StartSpan(ctx, "dispatch")
+	if fail {
+		span.SetAttr("deadline", "expired")
+		span.End()
+		return errFail
+	}
+	_ = ctx
+	span.End()
+	return nil
+}

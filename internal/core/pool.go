@@ -1,0 +1,361 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vizndp/internal/rpc"
+	"vizndp/internal/telemetry"
+)
+
+// Replica-failover metrics: how often a call moved to another replica
+// after a failure, and how often a replica's breaker tripped open.
+var (
+	mPoolFailovers   = telemetry.Default().Counter("core.pool.failovers")
+	mPoolBreakerOpen = telemetry.Default().Counter("core.pool.breaker.open")
+)
+
+var poolLog = telemetry.Logger("ndppool")
+
+// Defaults for PoolOptions zero values.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 200 * time.Millisecond
+)
+
+// PoolOptions configures a replica Pool.
+type PoolOptions struct {
+	// Reconnect configures every replica's underlying client (backoff,
+	// per-attempt timeout, retryable set, seed). Its MaxAttempts bounds
+	// the TOTAL attempts one call makes across the whole pool: the
+	// per-replica clients never retry on their own, so a failed attempt
+	// moves to another replica instead of hammering the one that just
+	// failed. <= 0 means rpc.DefaultMaxAttempts per replica.
+	Reconnect rpc.ReconnectOptions
+	// BreakerThreshold is how many consecutive failures — transport
+	// errors or busy sheds — trip a replica's circuit breaker open.
+	// <= 0 means DefaultBreakerThreshold.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker steers traffic away
+	// before letting the next call through as a half-open probe; the
+	// probe's success closes the breaker, its failure re-arms the
+	// cooldown. <= 0 means DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+}
+
+// breaker is a per-replica circuit breaker. Consecutive failures trip
+// it open; while open the replica is skipped whenever a healthier one
+// exists; once the cooldown elapses the next call through acts as the
+// half-open probe.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	fails     int
+	open      bool
+	openUntil time.Time
+}
+
+// allow reports whether a call may use this replica now: the breaker is
+// closed, or open with its cooldown elapsed (the half-open probe).
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.open || !now.Before(b.openUntil)
+}
+
+// tripped reports whether the breaker currently rejects traffic.
+func (b *breaker) tripped(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open && now.Before(b.openUntil)
+}
+
+// retryAt is when an open breaker next admits a probe (zero if closed).
+func (b *breaker) retryAt() time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return time.Time{}
+	}
+	return b.openUntil
+}
+
+// success closes the breaker and clears the failure streak.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.open = false
+	b.mu.Unlock()
+}
+
+// failure records one failed call; it reports true when this failure
+// freshly tripped the breaker open. A failed half-open probe re-arms
+// the cooldown without reporting a new trip.
+func (b *breaker) failure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.open {
+		b.openUntil = now.Add(b.cooldown)
+		return false
+	}
+	if b.fails >= b.threshold {
+		b.open = true
+		b.openUntil = now.Add(b.cooldown)
+		return true
+	}
+	return false
+}
+
+type poolReplica struct {
+	addr   string
+	client *rpc.ReconnectClient
+	brk    breaker
+}
+
+// Pool is a Caller spreading calls over N replica NDP servers: each
+// call goes to the healthiest replica (round-robin over those whose
+// breakers admit traffic) and fails over transparently when a replica
+// dies or sheds it. Busy rejections are always safe to move — the shed
+// happened before any handler ran — while transport failures move only
+// for methods in the retryable set, exactly like ReconnectClient.
+type Pool struct {
+	replicas    []*poolReplica
+	opts        PoolOptions
+	maxAttempts int
+
+	next atomic.Uint64 // round-robin cursor
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	closed bool
+}
+
+// NewPool builds a pool over addrs; dialFn nil means net.Dial. Each
+// replica gets its own lazily-dialed ReconnectClient, restricted to a
+// single attempt per call so the pool — not the replica — owns retries.
+func NewPool(addrs []string, dialFn func(network, addr string) (net.Conn, error), opts PoolOptions) *Pool {
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if opts.Reconnect.MaxAttempts <= 0 {
+		opts.Reconnect.MaxAttempts = rpc.DefaultMaxAttempts * len(addrs)
+	}
+	if opts.Reconnect.InitialBackoff <= 0 {
+		opts.Reconnect.InitialBackoff = rpc.DefaultInitialBackoff
+	}
+	if opts.Reconnect.MaxBackoff <= 0 {
+		opts.Reconnect.MaxBackoff = rpc.DefaultMaxBackoff
+	}
+	seed := opts.Reconnect.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	p := &Pool{
+		opts:        opts,
+		maxAttempts: opts.Reconnect.MaxAttempts,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+	for i, addr := range addrs {
+		rcOpts := opts.Reconnect
+		rcOpts.MaxAttempts = 1 // the pool owns retries: a failure moves on
+		rcOpts.Seed = seed + int64(i) + 1
+		p.replicas = append(p.replicas, &poolReplica{
+			addr:   addr,
+			client: rpc.NewReconnectClient("tcp", addr, dialFn, rcOpts),
+			brk: breaker{
+				threshold: opts.BreakerThreshold,
+				cooldown:  opts.BreakerCooldown,
+			},
+		})
+	}
+	return p
+}
+
+// pick chooses the replica for the next attempt: round-robin over
+// replicas whose breakers admit traffic, preferring not to re-pick the
+// replica that just failed (last) while an alternative exists. With
+// every breaker open it falls back to the one whose cooldown expires
+// soonest, so a fully-tripped pool still probes its way back to health.
+func (p *Pool) pick(last *poolReplica) *poolReplica {
+	now := time.Now()
+	n := len(p.replicas)
+	start := int(p.next.Add(1)-1) % n
+	var allowedLast *poolReplica
+	for i := 0; i < n; i++ {
+		r := p.replicas[(start+i)%n]
+		if !r.brk.allow(now) {
+			continue
+		}
+		if r == last && n > 1 {
+			allowedLast = r
+			continue
+		}
+		return r
+	}
+	if allowedLast != nil {
+		return allowedLast
+	}
+	best := p.replicas[start]
+	for i := 1; i < n; i++ {
+		r := p.replicas[(start+i)%n]
+		if r.brk.retryAt().Before(best.brk.retryAt()) {
+			best = r
+		}
+	}
+	return best
+}
+
+// CallContext invokes method on the healthiest replica, failing over on
+// busy sheds and — for retryable methods — transport failures, backing
+// off once per full cycle through the pool so failover to a healthy
+// sibling is immediate but a saturated pool is not hammered.
+func (p *Pool) CallContext(ctx context.Context, method string, args ...any) (any, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, rpc.ErrShutdown
+	}
+	var last *poolReplica
+	for attempt := 1; ; attempt++ {
+		r := p.pick(last)
+		if last != nil && r != last {
+			mPoolFailovers.Inc()
+			poolLog.Debug("failing over", "from", last.addr, "to", r.addr, "method", method)
+		}
+		result, err := r.client.CallContext(ctx, method, args...)
+		if err == nil {
+			r.brk.success()
+			return result, nil
+		}
+		// A caller-cancelled attempt says nothing about the replica's
+		// health; only count failures the replica itself caused.
+		if ctx.Err() == nil {
+			if r.brk.failure(time.Now()) {
+				mPoolBreakerOpen.Inc()
+				poolLog.Warn("breaker opened", "addr", r.addr, "err", err)
+			}
+		}
+		if !p.retryable(ctx, method, err) || attempt >= p.maxAttempts {
+			return nil, err
+		}
+		last = r
+		if attempt%len(p.replicas) == 0 {
+			if werr := p.backoff(ctx, attempt/len(p.replicas)); werr != nil {
+				return nil, werr
+			}
+		}
+	}
+}
+
+// Call invokes method with args with no caller deadline.
+func (p *Pool) Call(method string, args ...any) (any, error) {
+	return p.CallContext(context.Background(), method, args...)
+}
+
+// retryable reports whether a failed attempt may move on to another
+// replica: the caller's ctx must be live, the pool open, and the error
+// either a busy shed (safe for any method — no handler ran) or a
+// transport failure on a method declared idempotent.
+func (p *Pool) retryable(ctx context.Context, method string, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	busy := errors.Is(err, rpc.ErrBusy)
+	if !busy && !p.opts.Reconnect.Retryable[method] {
+		return false
+	}
+	if !busy {
+		var se rpc.ServerError
+		if errors.As(err, &se) {
+			return false
+		}
+	}
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	return !closed
+}
+
+// backoff sleeps before the next cycle through the pool: exponential
+// per cycle from InitialBackoff, capped at MaxBackoff, jittered into
+// [50%, 100%] like ReconnectClient's.
+func (p *Pool) backoff(ctx context.Context, cycle int) error {
+	d := p.opts.Reconnect.InitialBackoff << (cycle - 1)
+	if d > p.opts.Reconnect.MaxBackoff || d <= 0 {
+		d = p.opts.Reconnect.MaxBackoff
+	}
+	p.mu.Lock()
+	jittered := d/2 + time.Duration(p.rng.Int63n(int64(d/2)+1))
+	p.mu.Unlock()
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close shuts every replica client down; subsequent calls fail with
+// rpc.ErrShutdown.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	var first error
+	for _, r := range p.replicas {
+		if err := r.client.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ReplicaStatus is one replica's health snapshot.
+type ReplicaStatus struct {
+	Addr string
+	// BreakerOpen reports whether the breaker currently steers calls
+	// away from this replica.
+	BreakerOpen bool
+}
+
+// Status snapshots every replica's breaker state, in address order.
+func (p *Pool) Status() []ReplicaStatus {
+	now := time.Now()
+	out := make([]ReplicaStatus, len(p.replicas))
+	for i, r := range p.replicas {
+		out[i] = ReplicaStatus{Addr: r.addr, BreakerOpen: r.brk.tripped(now)}
+	}
+	return out
+}
+
+// DialPool returns a fault-tolerant NDP client backed by N replica
+// servers: every call routes to the healthiest replica, fails over
+// transparently on busy sheds and transport failures, and — like
+// DialFaultTolerant — degrades to a raw fetch plus local pre-filter
+// when every replica refuses a pre-filtered fetch, so the payload stays
+// bit-identical either way. The returned Pool exposes per-replica
+// breaker state for probes; closing the Client closes the Pool.
+func DialPool(addrs []string, dialFn func(network, addr string) (net.Conn, error), opts PoolOptions) (*Client, *Pool) {
+	if opts.Reconnect.Retryable == nil {
+		opts.Reconnect.Retryable = RetryableMethods()
+	}
+	p := NewPool(addrs, dialFn, opts)
+	return &Client{rpc: p, fallback: true}, p
+}

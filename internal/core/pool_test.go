@@ -1,0 +1,276 @@
+package core
+
+import (
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vizndp/internal/compress"
+	"vizndp/internal/grid"
+	"vizndp/internal/rpc"
+	"vizndp/internal/telemetry"
+	"vizndp/internal/vtkio"
+)
+
+// startEchoServer runs a plain rpc server with an "echo" method.
+func startEchoServer(t *testing.T) (*rpc.Server, string) {
+	t.Helper()
+	srv := rpc.NewServer()
+	srv.Register("echo", func(_ context.Context, args []any) (any, error) {
+		return args[0], nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return srv, ln.Addr().String()
+}
+
+func TestPoolFailoverOnReplicaDeath(t *testing.T) {
+	_, addrA := startEchoServer(t)
+	srvB, addrB := startEchoServer(t)
+
+	failovers := telemetry.Default().Counter("core.pool.failovers")
+	trips := telemetry.Default().Counter("core.pool.breaker.open")
+	f0, t0 := failovers.Value(), trips.Value()
+
+	pool := NewPool([]string{addrA, addrB}, nil, PoolOptions{
+		Reconnect: rpc.ReconnectOptions{
+			Retryable:      map[string]bool{"echo": true},
+			MaxAttempts:    16,
+			InitialBackoff: time.Millisecond,
+			MaxBackoff:     5 * time.Millisecond,
+			CallTimeout:    2 * time.Second,
+			Seed:           3,
+		},
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Minute, // stays open for the test's duration
+	})
+	defer pool.Close()
+
+	// Warm both replicas.
+	for i := 0; i < 4; i++ {
+		if _, err := pool.Call("echo", int64(i)); err != nil {
+			t.Fatalf("warm call %d: %v", i, err)
+		}
+	}
+
+	// Kill one replica mid-run: every call must still succeed, the pool
+	// must fail over, and the dead replica's breaker must trip.
+	srvB.Close()
+	for i := 0; i < 12; i++ {
+		got, err := pool.Call("echo", int64(i))
+		if err != nil {
+			t.Fatalf("call %d after replica death: %v", i, err)
+		}
+		if got != int64(i) {
+			t.Fatalf("call %d = %v, want %d", i, got, i)
+		}
+	}
+	if failovers.Value() == f0 {
+		t.Error("core.pool.failovers did not count any failover")
+	}
+	if trips.Value() == t0 {
+		t.Error("core.pool.breaker.open: dead replica's breaker never tripped")
+	}
+	open := 0
+	for _, st := range pool.Status() {
+		if st.BreakerOpen {
+			open++
+			if st.Addr != addrB {
+				t.Errorf("breaker open on %s, want the dead replica %s", st.Addr, addrB)
+			}
+		}
+	}
+	if open != 1 {
+		t.Errorf("%d breakers open, want exactly 1", open)
+	}
+}
+
+func TestPoolRetriesBusyShed(t *testing.T) {
+	// A single undersized replica: busy sheds must be retried even for a
+	// method with no retry allowance, because the shed happened before
+	// any handler ran.
+	srv := rpc.NewServer(rpc.WithMaxInFlight(1))
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv.Register("block", func(ctx context.Context, _ []any) (any, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return "done", nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+
+	pool := NewPool([]string{ln.Addr().String()}, nil, PoolOptions{
+		Reconnect: rpc.ReconnectOptions{
+			// "block" deliberately absent from Retryable.
+			MaxAttempts:    200,
+			InitialBackoff: time.Millisecond,
+			MaxBackoff:     5 * time.Millisecond,
+			Seed:           5,
+		},
+		BreakerThreshold: 2,
+		BreakerCooldown:  5 * time.Millisecond,
+	})
+	defer pool.Close()
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := pool.Call("block")
+		first <- err
+	}()
+	<-started
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := pool.Call("block")
+		done <- err
+	}()
+	time.AfterFunc(30*time.Millisecond, func() { close(release) })
+	if err := <-done; err != nil {
+		t.Fatalf("shed call did not recover: %v", err)
+	}
+	if err := <-first; err != nil {
+		t.Fatalf("first call failed: %v", err)
+	}
+}
+
+func TestBreakerFailoverProbe(t *testing.T) {
+	b := &breaker{threshold: 2, cooldown: time.Minute}
+	now := time.Unix(1000, 0)
+	if !b.allow(now) {
+		t.Fatal("new breaker must allow traffic")
+	}
+	if b.failure(now) {
+		t.Fatal("first failure must not trip a threshold-2 breaker")
+	}
+	if !b.failure(now) {
+		t.Fatal("second consecutive failure must trip")
+	}
+	if b.allow(now) {
+		t.Error("open breaker allows traffic before its cooldown")
+	}
+	if !b.tripped(now) {
+		t.Error("tripped() false right after the trip")
+	}
+	probeAt := now.Add(time.Minute)
+	if !b.allow(probeAt) {
+		t.Error("cooldown elapsed: the half-open probe must be allowed")
+	}
+	// A failed probe re-arms the cooldown without a fresh trip.
+	if b.failure(probeAt) {
+		t.Error("failed half-open probe reported a fresh trip")
+	}
+	if b.allow(probeAt.Add(30 * time.Second)) {
+		t.Error("re-armed breaker allows traffic mid-cooldown")
+	}
+	// A successful probe closes the breaker entirely.
+	if !b.allow(probeAt.Add(2 * time.Minute)) {
+		t.Error("re-armed cooldown elapsed: probe must be allowed")
+	}
+	b.success()
+	if !b.allow(now) || b.tripped(now) {
+		t.Error("breaker not closed after a successful probe")
+	}
+	// And the failure streak restarts from zero.
+	if b.failure(now) {
+		t.Error("first failure after recovery tripped immediately")
+	}
+}
+
+func TestDialPoolFailoverBitIdentical(t *testing.T) {
+	g, f := sphereField(24)
+	ds := grid.NewDataset(g)
+	ds.MustAddField(f)
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "run"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := vtkio.WriteFile(filepath.Join(dir, "run", "ts0.vnd"), ds,
+		vtkio.WriteOptions{Codec: compress.None}); err != nil {
+		t.Fatal(err)
+	}
+	newReplica := func() (*Server, string) {
+		srv := NewServer(os.DirFS(dir))
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(srv.Close)
+		return srv, ln.Addr().String()
+	}
+	_, addrA := newReplica()
+	srvB, addrB := newReplica()
+
+	// Ground truth from a plain single-replica client.
+	truth, err := Dial(addrA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPayload, _, err := truth.FetchFiltered("run/ts0.vnd", "d", []float64{7}, EncAuto)
+	truth.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, pool := DialPool([]string{addrA, addrB}, nil, PoolOptions{
+		Reconnect: rpc.ReconnectOptions{
+			MaxAttempts:    16,
+			InitialBackoff: time.Millisecond,
+			MaxBackoff:     5 * time.Millisecond,
+			CallTimeout:    5 * time.Second,
+			Seed:           9,
+		},
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+	})
+	defer client.Close()
+
+	fetchAndCompare := func(i int) {
+		t.Helper()
+		p, st, err := client.FetchFiltered("run/ts0.vnd", "d", []float64{7}, EncAuto)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		if string(p.Data) != string(wantPayload.Data) {
+			t.Fatalf("fetch %d: payload differs from single-replica ground truth", i)
+		}
+		if st.Degraded {
+			t.Fatalf("fetch %d: unexpectedly served degraded", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		fetchAndCompare(i)
+	}
+	// Replica B dies mid-run; payloads must stay bit-identical.
+	srvB.Close()
+	for i := 3; i < 11; i++ {
+		fetchAndCompare(i)
+	}
+	open := false
+	for _, st := range pool.Status() {
+		if st.Addr == addrB && st.BreakerOpen {
+			open = true
+		}
+	}
+	if !open {
+		t.Error("dead replica's breaker is not open after the failover run")
+	}
+}

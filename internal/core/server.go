@@ -47,9 +47,10 @@ const (
 // on the storage node is an s3fs mount colocated with the object store)
 // and a pre-filter. Clients drive it over msgpack-rpc.
 type Server struct {
-	fsys  fs.FS
-	rpc   *rpc.Server
-	cache *arraycache.Cache
+	fsys    fs.FS
+	rpc     *rpc.Server
+	cache   *arraycache.Cache
+	rpcOpts []rpc.ServerOption
 }
 
 // ServerOption customizes a Server.
@@ -63,12 +64,27 @@ func WithCacheBytes(maxBytes int64) ServerOption {
 	return func(s *Server) { s.cache = arraycache.New(maxBytes) }
 }
 
+// WithMaxInFlight bounds how many requests execute concurrently
+// (admission control); further requests wait in the bounded queue. See
+// rpc.WithMaxInFlight. n <= 0 means unbounded, the default.
+func WithMaxInFlight(n int) ServerOption {
+	return func(s *Server) { s.rpcOpts = append(s.rpcOpts, rpc.WithMaxInFlight(n)) }
+}
+
+// WithQueue bounds the admission wait queue; past it the server sheds
+// requests with the retryable busy error instead of letting work pile
+// up. See rpc.WithQueue. Only meaningful with WithMaxInFlight.
+func WithQueue(n int) ServerOption {
+	return func(s *Server) { s.rpcOpts = append(s.rpcOpts, rpc.WithQueue(n)) }
+}
+
 // NewServer builds an NDP server over the given filesystem.
 func NewServer(fsys fs.FS, opts ...ServerOption) *Server {
-	s := &Server{fsys: fsys, rpc: rpc.NewServer()}
+	s := &Server{fsys: fsys}
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.rpc = rpc.NewServer(s.rpcOpts...)
 	s.rpc.Register(MethodList, s.handleList)
 	s.rpc.Register(MethodDescribe, s.handleDescribe)
 	s.rpc.Register(MethodFetch, s.handleFetch)
@@ -82,11 +98,22 @@ func NewServer(fsys fs.FS, opts ...ServerOption) *Server {
 // benchmarks that need to reset or inspect it.
 func (s *Server) Cache() *arraycache.Cache { return s.cache }
 
-// Serve accepts NDP connections from ln until closed.
+// Serve accepts NDP connections from ln until closed. A deliberate stop
+// (Close or Shutdown) yields rpc.ErrShutdown.
 func (s *Server) Serve(ln net.Listener) error { return s.rpc.Serve(ln) }
 
-// Close shuts the server down.
+// Close shuts the server down immediately, cutting in-flight fetches.
 func (s *Server) Close() { s.rpc.Close() }
+
+// Shutdown drains the server gracefully: new requests are shed with the
+// retryable busy error while accepted fetches finish, then connections
+// close. When ctx expires first the rest are cut off and ctx's error
+// returned; nil means no accepted request was lost.
+func (s *Server) Shutdown(ctx context.Context) error { return s.rpc.Shutdown(ctx) }
+
+// Health reports the underlying rpc server's ok/draining/overloaded
+// state, as served by the built-in rpc.MethodHealthz probe.
+func (s *Server) Health() string { return s.rpc.Health() }
 
 func argString(args []any, i int, what string) (string, error) {
 	if i >= len(args) {
@@ -264,6 +291,11 @@ func (s *Server) loadArray(path, array string) (*arraycache.Entry, arraycache.Ou
 // is the in-memory lookup — effectively zero — so the readns a client
 // sees stays an honest account of storage work actually performed.
 func (s *Server) readArrayTimed(ctx context.Context, path, array string) (*grid.Uniform, *grid.Field, time.Duration, error) {
+	// An abandoned request — caller deadline expired, connection gone —
+	// stops here instead of paying for the storage read.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, 0, err
+	}
 	_, span := telemetry.StartSpan(ctx, "read")
 	defer span.End()
 	span.SetAttr("path", path)
@@ -343,6 +375,12 @@ func (s *Server) handleFetch(ctx context.Context, args []any) (any, error) {
 		mFetchErrors.Inc()
 		return nil, err
 	}
+	// Observe cancellation between the pipeline stages: the read may
+	// have taken the whole remaining deadline, and the pre-filter scan
+	// is the expensive half.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	_, fspan := telemetry.StartSpan(ctx, "prefilter")
 	pre := &PreFilter{Isovalues: isovalues, Encoding: enc}
@@ -406,6 +444,9 @@ func (s *Server) handleFetchRange(ctx context.Context, args []any) (any, error) 
 		mFetchErrors.Inc()
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	_, fspan := telemetry.StartSpan(ctx, "prefilter.range")
 	pre := &RangePreFilter{Lo: lo, Hi: hi, Encoding: enc}
@@ -463,6 +504,9 @@ func (s *Server) handleFetchSlice(ctx context.Context, args []any) (any, error) 
 		mFetchErrors.Inc()
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	_, fspan := telemetry.StartSpan(ctx, "prefilter.slice")
 	filterStart := time.Now()
@@ -508,6 +552,9 @@ func (s *Server) handleFetchRaw(ctx context.Context, args []any) (any, error) {
 	}
 	array, err := argString(args, 1, "array")
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	_, span := telemetry.StartSpan(ctx, "read.raw")

@@ -1,0 +1,24 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOverloadExperimentDrains runs the full overload campaign. The
+// experiment hard-errors unless requests were actually shed, the killed
+// replica's breaker tripped with a real failover, every payload matched
+// the clean run bit for bit, and the mid-burst graceful drain lost
+// nothing — so a nil error here is the whole assertion.
+func TestOverloadExperimentDrains(t *testing.T) {
+	tbl, err := env.OverloadExperiment("v03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"clean sweep", "unbounded burst", "shed+failover", "graceful drain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q row:\n%s", want, out)
+		}
+	}
+}

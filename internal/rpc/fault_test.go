@@ -43,15 +43,15 @@ func echoOnce(c net.Conn) {
 	if err != nil {
 		return
 	}
-	msgid, _, args, _, _, err := decodeIncoming(body)
+	in, err := decodeIncoming(body)
 	if err != nil {
 		return
 	}
 	var result any
-	if len(args) > 0 {
-		result = args[0]
+	if len(in.args) > 0 {
+		result = in.args[0]
 	}
-	resp, err := encodeResponse(msgid, nil, result, nil)
+	resp, err := encodeResponse(in.msgid, nil, result, nil)
 	if err != nil {
 		return
 	}

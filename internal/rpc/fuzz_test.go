@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"testing"
+	"time"
 
 	"vizndp/internal/telemetry"
 )
@@ -17,12 +18,28 @@ func FuzzDecodeIncoming(f *testing.F) {
 	if req, err := encodeRequest(1, "Ping", nil, "trace:span"); err == nil {
 		f.Add(req)
 	}
+	// Deadline-bearing meta elements: traced, untraced, and malformed
+	// (non-numeric, negative, overflowing) deadlines must all decode —
+	// the bad ones just losing the deadline — without panicking.
+	if req, err := encodeRequest(2, "Fetch", []any{"k"},
+		encodeMeta("trace:span", 250*time.Millisecond)); err == nil {
+		f.Add(req)
+	}
+	if req, err := encodeRequest(3, "Fetch", []any{"k"}, encodeMeta("", time.Second)); err == nil {
+		f.Add(req)
+	}
+	if req, err := encodeRequest(4, "Fetch", nil, "trace:span;dl=bogus"); err == nil {
+		f.Add(req)
+	}
+	if req, err := encodeRequest(5, "Fetch", nil, ";dl=-1;dl=99999999999999999999"); err == nil {
+		f.Add(req)
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0x90})       // empty array
 	f.Add([]byte{0x94, 0xc0}) // 4-array starting with nil
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		_, _, _, _, _, _ = decodeIncoming(data)
+		_, _ = decodeIncoming(data)
 	})
 }
 
@@ -32,6 +49,18 @@ func FuzzDecodeResponse(f *testing.F) {
 		f.Add(resp)
 	}
 	if resp, err := encodeResponse(9, ErrShutdown, nil, []telemetry.SpanData{}); err == nil {
+		f.Add(resp)
+	}
+	// Busy-marked error strings: a well-formed shed response, a bare
+	// prefix with no message, and a truncated/embedded prefix must all
+	// decode (or fail) without panicking.
+	if resp, err := encodeResponse(3, ErrBusy, nil, nil); err == nil {
+		f.Add(resp)
+	}
+	if resp, err := encodeResponse(4, busyError(""), nil, nil); err == nil {
+		f.Add(resp)
+	}
+	if resp, err := encodeResponse(5, ServerError("mid\x01busy\x01dle"), nil, nil); err == nil {
 		f.Add(resp)
 	}
 	f.Add([]byte{})

@@ -46,7 +46,9 @@ type ReconnectOptions struct {
 	// to the first try can be lost after the handler ran), so only
 	// idempotent methods — read-only fetches — belong here. A nil or
 	// empty set disables retries entirely; reconnection still happens
-	// lazily on the next call.
+	// lazily on the next call. Busy rejections (ErrBusy) are exempt from
+	// the set: the server shed them before the handler ran, so any
+	// method may retry one.
 	Retryable map[string]bool
 	// Seed makes the retry jitter deterministic for tests and harness
 	// runs; 0 seeds from the default source.
@@ -73,7 +75,9 @@ func (o ReconnectOptions) withDefaults() ReconnectOptions {
 // backoff plus jitter. Application-level errors (ServerError) and
 // caller cancellations are never retried; transport failures — the
 // cause-carrying shutdown errors a poisoned Client reports — are, for
-// methods declared retryable.
+// methods declared retryable, and busy rejections (ErrBusy) are
+// retried for every method because the server shed them before any
+// handler ran.
 //
 // It is safe for concurrent use; concurrent calls share one underlying
 // connection, and a reconnect replaces it for all of them.
@@ -245,18 +249,23 @@ func (rc *ReconnectClient) connectionDead(ctx context.Context, err error) bool {
 }
 
 // retryableFailure reports whether the call may be re-issued: the
-// method must be declared idempotent, the caller's context still live,
-// and the error a transport failure rather than a server-side result.
+// caller's context must still be live and the error either a busy
+// rejection — shed before the handler ran, so safe for any method — or
+// a transport failure on a method declared idempotent. Other
+// server-side results are never retried.
 func (rc *ReconnectClient) retryableFailure(ctx context.Context, method string, err error) bool {
-	if !rc.opts.Retryable[method] {
-		return false
-	}
 	if ctx.Err() != nil {
 		return false
 	}
-	var se ServerError
-	if errors.As(err, &se) {
+	busy := errors.Is(err, ErrBusy)
+	if !busy && !rc.opts.Retryable[method] {
 		return false
+	}
+	if !busy {
+		var se ServerError
+		if errors.As(err, &se) {
+			return false
+		}
 	}
 	// A closed ReconnectClient must not spin on ErrShutdown.
 	rc.mu.Lock()

@@ -18,8 +18,19 @@
 // simply omit the fifth element, so both directions stay compatible
 // with plain msgpack-rpc endpoints.
 //
+// Two further extensions keep the same one-sided compatibility story.
+// A caller with a context deadline appends ";dl=<remaining ns>" to the
+// fifth element, so the server can stop burning storage CPU on requests
+// the caller has already abandoned; an old server's trace-context parse
+// fails closed and it simply serves the request untraced and unbounded.
+// A server shedding load marks the response's error string with a
+// reserved control-byte prefix that new clients decode into the
+// retryable ErrBusy; old clients see an ordinary server error string.
+//
 // Clients multiplex concurrent calls over one connection; servers handle
-// each request in its own goroutine.
+// each request in its own goroutine, optionally bounded by admission
+// control (WithMaxInFlight / WithQueue) and drained gracefully by
+// Shutdown.
 package rpc
 
 import (
@@ -29,6 +40,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -50,6 +63,10 @@ var (
 	mServerBytesIn   = telemetry.Default().Counter("rpc.server.bytes.rcvd")
 	mServerInFlight  = telemetry.Default().Gauge("rpc.server.inflight")
 	mClientDiscarded = telemetry.Default().Counter("rpc.client.responses.discarded")
+	mServerShed      = telemetry.Default().Counter("rpc.server.shed")
+	mServerQueued    = telemetry.Default().Gauge("rpc.server.queue.depth")
+	mServerDeadlines = telemetry.Default().Counter("rpc.server.deadline.expired")
+	mServerProtoErrs = telemetry.Default().Counter("rpc.server.protocol_errors")
 )
 
 var logger = telemetry.Logger("rpc")
@@ -94,10 +111,67 @@ func shutdownWith(cause error) error {
 	return &shutdownError{cause: cause}
 }
 
+// ErrBusy is the distinguished overload rejection: the server shed the
+// request before its handler ran (admission queue full, or the server
+// is draining), so re-issuing it is safe for any method — idempotent or
+// not. On the wire it travels as a reserved prefix on the response's
+// error string; new clients decode it back into an error matching
+// errors.Is(err, ErrBusy), old clients degrade to an ordinary
+// ServerError.
+var ErrBusy = errors.New("rpc: server busy")
+
+// busyWirePrefix marks a response error string as ErrBusy on the wire.
+// The control bytes keep legitimate handler error messages, which are
+// human-readable text, from colliding with the marker.
+const busyWirePrefix = "\x01busy\x01"
+
+// busyError is the client-side decoding of a busy-marked response
+// error: the server's message, matching errors.Is(err, ErrBusy).
+type busyError string
+
+func (e busyError) Error() string { return string(e) }
+
+// Is makes decoded busy rejections match the ErrBusy sentinel.
+func (e busyError) Is(target error) bool { return target == ErrBusy }
+
 // ServerError is an error string returned by the remote side.
 type ServerError string
 
 func (e ServerError) Error() string { return string(e) }
+
+// deadlineSep separates the optional remaining-deadline field from the
+// trace context inside a request frame's fifth (meta) element:
+// "<tracectx>;dl=<nanoseconds>". Riding inside the existing string
+// element — rather than adding a sixth frame element — keeps old
+// servers compatible: their trace-context parse fails closed on the
+// suffix and they serve the request untraced, while frames without a
+// deadline stay byte-identical to the old format.
+const deadlineSep = ";dl="
+
+// encodeMeta builds a request's meta element from the caller's trace
+// context and remaining deadline (0 = none). Either part may be empty.
+func encodeMeta(wireCtx string, deadline time.Duration) string {
+	if deadline <= 0 {
+		return wireCtx
+	}
+	return wireCtx + deadlineSep + strconv.FormatInt(int64(deadline), 10)
+}
+
+// splitMeta parses a meta element back into trace context and remaining
+// deadline. Malformed or non-positive deadlines are dropped rather than
+// rejected — a peer speaking a future dialect keeps being served, it
+// just gets no deadline.
+func splitMeta(meta string) (wireCtx string, deadline time.Duration) {
+	head, tail, found := strings.Cut(meta, deadlineSep)
+	if !found {
+		return meta, 0
+	}
+	ns, err := strconv.ParseInt(tail, 10, 64)
+	if err != nil || ns <= 0 {
+		return head, 0
+	}
+	return head, time.Duration(ns)
+}
 
 // Handler processes one call. Args are the decoded params; the returned
 // value must be encodable by msgpack.Encoder.PutAny.
@@ -134,6 +208,19 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return body, nil
 }
 
+// Server health states reported by the built-in MethodHealthz probe.
+const (
+	HealthOK         = "ok"         // accepting and executing requests
+	HealthDraining   = "draining"   // Shutdown/Close begun: new work is shed
+	HealthOverloaded = "overloaded" // all slots busy and the queue full
+)
+
+// MethodHealthz is the built-in readiness probe, registered on every
+// server. It bypasses admission control and drain accounting — its job
+// is to answer while the server is saturated or draining — and returns
+// one of the Health* states.
+const MethodHealthz = "rpc.healthz"
+
 // Server dispatches msgpack-rpc requests to registered handlers.
 type Server struct {
 	mu       sync.RWMutex
@@ -143,15 +230,58 @@ type Server struct {
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 	closed    bool
+	draining  bool
+	inflight  int           // accepted requests not yet finished
+	idle      chan struct{} // closed when inflight drains to zero
+
+	// Admission control (nil slots = unbounded, the seed behaviour):
+	// slots holds one token per concurrently executing request; up to
+	// maxQueue further requests wait for a token, and past that the
+	// server sheds with ErrBusy instead of letting work pile up.
+	maxInFlight int
+	maxQueue    int
+	slots       chan struct{}
+
+	admMu  sync.Mutex
+	queued int
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithMaxInFlight bounds how many requests execute concurrently across
+// all connections; further requests wait in the admission queue (see
+// WithQueue). n <= 0 means unbounded, the default.
+func WithMaxInFlight(n int) ServerOption {
+	return func(s *Server) { s.maxInFlight = n }
+}
+
+// WithQueue bounds how many admitted requests may wait for an execution
+// slot; beyond it the server immediately sheds new requests with the
+// retryable ErrBusy. Only meaningful together with WithMaxInFlight.
+// n <= 0 (the default) means no waiting room: every request beyond the
+// in-flight bound is shed.
+func WithQueue(n int) ServerOption {
+	return func(s *Server) { s.maxQueue = n }
 }
 
 // NewServer returns an empty server.
-func NewServer() *Server {
-	return &Server{
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
 		handlers:  make(map[string]Handler),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.maxInFlight > 0 {
+		s.slots = make(chan struct{}, s.maxInFlight)
+	}
+	s.handlers[MethodHealthz] = func(context.Context, []any) (any, error) {
+		return s.Health(), nil
+	}
+	return s
 }
 
 // Register binds a handler to a method name, replacing any previous one.
@@ -161,10 +291,35 @@ func (s *Server) Register(method string, h Handler) {
 	s.handlers[method] = h
 }
 
-// Serve accepts connections from ln until the listener or server closes.
+// Health reports the server's current state: HealthDraining once
+// Shutdown or Close has begun, HealthOverloaded while every execution
+// slot is busy and the wait queue is full, HealthOK otherwise.
+func (s *Server) Health() string {
+	s.lnMu.Lock()
+	stopping := s.closed || s.draining
+	s.lnMu.Unlock()
+	if stopping {
+		return HealthDraining
+	}
+	if s.slots != nil {
+		s.admMu.Lock()
+		full := len(s.slots) == s.maxInFlight && s.queued >= s.maxQueue
+		s.admMu.Unlock()
+		if full {
+			return HealthOverloaded
+		}
+	}
+	return HealthOK
+}
+
+// Serve accepts connections from ln until the listener or server
+// closes. A stopped server — Close or Shutdown, before or during the
+// loop — yields ErrShutdown so callers can tell a deliberate stop from
+// a transport failure, which is returned wrapped with the listener
+// address.
 func (s *Server) Serve(ln net.Listener) error {
 	s.lnMu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.lnMu.Unlock()
 		ln.Close()
 		return ErrShutdown
@@ -180,18 +335,20 @@ func (s *Server) Serve(ln net.Listener) error {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.lnMu.Lock()
-			closed := s.closed
+			stopped := s.closed || s.draining
 			s.lnMu.Unlock()
-			if closed {
-				return nil
+			if stopped {
+				return ErrShutdown
 			}
-			return err
+			return fmt.Errorf("rpc: accept on %s: %w", ln.Addr(), err)
 		}
 		go s.ServeConn(conn)
 	}
 }
 
-// Close stops all listeners and open connections.
+// Close stops all listeners and open connections immediately; in-flight
+// handlers lose their connection mid-response. Use Shutdown to drain
+// them first.
 func (s *Server) Close() {
 	s.lnMu.Lock()
 	s.closed = true
@@ -203,6 +360,107 @@ func (s *Server) Close() {
 	}
 	s.lnMu.Unlock()
 }
+
+// Shutdown drains the server gracefully: stop accepting connections,
+// shed new requests with the retryable ErrBusy, let every accepted
+// request finish, then close the connections. When ctx expires first,
+// the remaining connections are force-closed mid-response and ctx's
+// error is returned; nil means no accepted request was cut off.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		return nil
+	}
+	s.draining = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	var idle chan struct{}
+	if s.inflight > 0 {
+		if s.idle == nil {
+			s.idle = make(chan struct{})
+		}
+		idle = s.idle
+	}
+	s.lnMu.Unlock()
+
+	var err error
+	if idle != nil {
+		select {
+		case <-idle:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
+	s.Close()
+	return err
+}
+
+// beginRequest registers one accepted unit of work. It reports false —
+// shed, do not run — once the server is draining or closed, so Shutdown
+// can rely on the inflight count only ever falling after the drain
+// begins.
+func (s *Server) beginRequest() bool {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.closed || s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+// endRequest retires one accepted request, waking a pending Shutdown
+// when the last one finishes.
+func (s *Server) endRequest() {
+	s.lnMu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.lnMu.Unlock()
+}
+
+// admit acquires an execution slot, waiting in the bounded admission
+// queue while all slots are busy. It returns the slot's release func;
+// or ErrBusy when the queue is already full (the shed is counted); or
+// ctx's error when the caller's deadline expires — or its connection
+// dies — before a slot frees up.
+func (s *Server) admit(ctx context.Context) (func(), error) {
+	if s.slots == nil {
+		return func() {}, nil
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return s.releaseSlot, nil
+	default:
+	}
+	s.admMu.Lock()
+	if s.queued >= s.maxQueue {
+		s.admMu.Unlock()
+		mServerShed.Inc()
+		return nil, fmt.Errorf("%w: %d in flight, %d queued", ErrBusy, s.maxInFlight, s.maxQueue)
+	}
+	s.queued++
+	mServerQueued.Set(int64(s.queued))
+	s.admMu.Unlock()
+	defer func() {
+		s.admMu.Lock()
+		s.queued--
+		mServerQueued.Set(int64(s.queued))
+		s.admMu.Unlock()
+	}()
+	select {
+	case s.slots <- struct{}{}:
+		return s.releaseSlot, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.slots }
 
 // ServeConn processes requests from one connection until it closes.
 // Requests run concurrently; responses are serialized.
@@ -234,64 +492,138 @@ func (s *Server) ServeConn(conn net.Conn) {
 			return
 		}
 		mServerBytesIn.Add(int64(len(body) + 4))
-		msgid, method, args, msgType, wireCtx, err := decodeIncoming(body)
+		in, err := decodeIncoming(body)
 		if err != nil {
+			mServerProtoErrs.Inc()
 			logger.Warn("dropping connection on protocol error",
 				"remote", conn.RemoteAddr().String(), "err", err)
 			return // protocol error: drop the connection
 		}
-		if msgType == typeNotification {
-			if h := s.lookup(method); h != nil {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					_, _ = h(ctx, args)
-				}()
+		if in.msgType == typeNotification {
+			h := s.lookup(in.method)
+			if h == nil {
+				continue
 			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.runNotification(ctx, h, in)
+			}()
 			continue
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			mServerRequests.Inc()
-			mServerInFlight.Add(1)
-			defer mServerInFlight.Add(-1)
-
-			// Every request runs under a server span; a traced request
-			// additionally parents it under the caller's span and
-			// collects all spans finished while handling it so they can
-			// ride back in the response.
-			hctx := ctx
-			var collector *telemetry.SpanCollector
-			if trace, parent, ok := telemetry.ParseWireContext(wireCtx); ok {
-				hctx = telemetry.ContextWithRemoteParent(hctx, trace, parent)
-				hctx, collector = telemetry.WithCollector(hctx)
-			}
-			hctx, span := telemetry.StartSpan(hctx, "serve "+method)
-			start := time.Now()
-			result, herr := s.dispatch(hctx, method, args)
-			mServerSeconds.Observe(time.Since(start).Seconds())
-			if herr != nil {
-				mServerErrors.Inc()
-				span.SetAttr("error", herr.Error())
-				logger.Debug("handler error", "method", method, "err", herr)
-			}
-			span.End()
-			var spans []telemetry.SpanData
-			if collector != nil {
-				spans = collector.Drain()
-			}
-			resp, err := encodeResponse(msgid, herr, result, spans)
-			if err != nil {
-				resp, _ = encodeResponse(msgid,
-					fmt.Errorf("rpc: unencodable result: %w", err), nil, nil)
-			}
-			wmu.Lock()
-			defer wmu.Unlock()
-			if writeFrame(conn, resp) == nil {
-				mServerBytesOut.Add(int64(len(resp) + 4))
-			}
+			s.runRequest(ctx, conn, &wmu, in)
 		}()
+	}
+}
+
+// runNotification executes one notification handler under the same
+// accounting and admission gate as calls; a shed notification is simply
+// dropped — the protocol has no reply to refuse it with.
+func (s *Server) runNotification(ctx context.Context, h Handler, in incoming) {
+	mServerRequests.Inc()
+	if !s.beginRequest() {
+		mServerShed.Inc()
+		return
+	}
+	defer s.endRequest()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return // admit counted the shed, or the connection died waiting
+	}
+	defer release()
+	mServerInFlight.Add(1)
+	defer mServerInFlight.Add(-1)
+	_, _ = h(ctx, in.args)
+}
+
+// runRequest executes one call end to end: drain accounting, deadline
+// derivation, admission, dispatch, and the serialized response write.
+func (s *Server) runRequest(ctx context.Context, conn net.Conn, wmu *sync.Mutex, in incoming) {
+	mServerRequests.Inc()
+
+	// Health probes bypass accounting and admission: answering while
+	// the server is saturated or draining is their entire job.
+	if in.method == MethodHealthz {
+		result, herr := s.dispatch(ctx, in.method, in.args)
+		s.respond(conn, wmu, in.msgid, herr, result, nil)
+		return
+	}
+
+	if !s.beginRequest() {
+		mServerShed.Inc()
+		s.respond(conn, wmu, in.msgid, fmt.Errorf("%w: draining", ErrBusy), nil, nil)
+		return
+	}
+	defer s.endRequest()
+
+	// The caller's remaining deadline bounds everything that follows —
+	// queue wait included — so an abandoned request stops burning
+	// storage-node CPU as soon as the handler observes its context.
+	hctx := ctx
+	if in.deadline > 0 {
+		var cancel context.CancelFunc
+		hctx, cancel = context.WithTimeout(hctx, in.deadline)
+		defer cancel()
+	}
+
+	release, err := s.admit(hctx)
+	if err != nil {
+		if in.deadline > 0 && errors.Is(err, context.DeadlineExceeded) {
+			mServerDeadlines.Inc()
+			err = fmt.Errorf("rpc: deadline expired in admission queue: %w", err)
+		}
+		s.respond(conn, wmu, in.msgid, err, nil, nil)
+		return
+	}
+	defer release()
+	mServerInFlight.Add(1)
+	defer mServerInFlight.Add(-1)
+
+	// Every request runs under a server span; a traced request
+	// additionally parents it under the caller's span and collects all
+	// spans finished while handling it so they can ride back in the
+	// response.
+	var collector *telemetry.SpanCollector
+	if trace, parent, ok := telemetry.ParseWireContext(in.wireCtx); ok {
+		hctx = telemetry.ContextWithRemoteParent(hctx, trace, parent)
+		hctx, collector = telemetry.WithCollector(hctx)
+	}
+	hctx, span := telemetry.StartSpan(hctx, "serve "+in.method)
+	start := time.Now()
+	result, herr := s.dispatch(hctx, in.method, in.args)
+	mServerSeconds.Observe(time.Since(start).Seconds())
+	if herr != nil {
+		mServerErrors.Inc()
+		span.SetAttr("error", herr.Error())
+		logger.Debug("handler error", "method", in.method, "err", herr)
+	}
+	if in.deadline > 0 && errors.Is(hctx.Err(), context.DeadlineExceeded) {
+		mServerDeadlines.Inc()
+		span.SetAttr("deadline", "expired")
+	}
+	span.End()
+	var spans []telemetry.SpanData
+	if collector != nil {
+		spans = collector.Drain()
+	}
+	s.respond(conn, wmu, in.msgid, herr, result, spans)
+}
+
+// respond encodes and writes one response frame under the connection's
+// write mutex.
+func (s *Server) respond(conn net.Conn, wmu *sync.Mutex, msgid int64, herr error, result any, spans []telemetry.SpanData) {
+	resp, err := encodeResponse(msgid, herr, result, spans)
+	if err != nil {
+		resp, _ = encodeResponse(msgid,
+			fmt.Errorf("rpc: unencodable result: %w", err), nil, nil)
+	}
+	wmu.Lock()
+	defer wmu.Unlock()
+	if writeFrame(conn, resp) == nil {
+		mServerBytesOut.Add(int64(len(resp) + 4))
 	}
 }
 
@@ -309,52 +641,65 @@ func (s *Server) dispatch(ctx context.Context, method string, args []any) (any, 
 	return h(ctx, args)
 }
 
+// incoming is one decoded request or notification frame.
+type incoming struct {
+	msgType  int64
+	msgid    int64
+	method   string
+	args     []any
+	wireCtx  string
+	deadline time.Duration // caller's remaining deadline; 0 = none
+}
+
 // decodeIncoming parses a request or notification frame. Requests may
-// carry an optional fifth element, the caller's trace context.
-func decodeIncoming(body []byte) (msgid int64, method string, args []any, msgType int64, wireCtx string, err error) {
+// carry an optional fifth (meta) element: the caller's trace context,
+// optionally suffixed with its remaining deadline.
+func decodeIncoming(body []byte) (incoming, error) {
+	var in incoming
 	d := msgpack.NewDecoder(body)
 	n, err := d.ReadArrayLen()
 	if err != nil {
-		return 0, "", nil, 0, "", err
+		return incoming{}, err
 	}
-	msgType, err = d.ReadInt()
-	if err != nil {
-		return 0, "", nil, 0, "", err
+	if in.msgType, err = d.ReadInt(); err != nil {
+		return incoming{}, err
 	}
-	switch msgType {
+	switch in.msgType {
 	case typeRequest:
 		if n != 4 && n != 5 {
-			return 0, "", nil, 0, "", fmt.Errorf("rpc: request with %d elements", n)
+			return incoming{}, fmt.Errorf("rpc: request with %d elements", n)
 		}
-		if msgid, err = d.ReadInt(); err != nil {
-			return 0, "", nil, 0, "", err
+		if in.msgid, err = d.ReadInt(); err != nil {
+			return incoming{}, err
 		}
 	case typeNotification:
 		if n != 3 {
-			return 0, "", nil, 0, "", fmt.Errorf("rpc: notification with %d elements", n)
+			return incoming{}, fmt.Errorf("rpc: notification with %d elements", n)
 		}
 	default:
-		return 0, "", nil, 0, "", fmt.Errorf("rpc: unexpected message type %d", msgType)
+		return incoming{}, fmt.Errorf("rpc: unexpected message type %d", in.msgType)
 	}
-	if method, err = d.ReadString(); err != nil {
-		return 0, "", nil, 0, "", err
+	if in.method, err = d.ReadString(); err != nil {
+		return incoming{}, err
 	}
 	nargs, err := d.ReadArrayLen()
 	if err != nil {
-		return 0, "", nil, 0, "", err
+		return incoming{}, err
 	}
-	args = make([]any, nargs)
-	for i := range args {
-		if args[i], err = d.ReadAny(); err != nil {
-			return 0, "", nil, 0, "", err
+	in.args = make([]any, nargs)
+	for i := range in.args {
+		if in.args[i], err = d.ReadAny(); err != nil {
+			return incoming{}, err
 		}
 	}
-	if msgType == typeRequest && n == 5 {
-		if wireCtx, err = d.ReadString(); err != nil {
-			return 0, "", nil, 0, "", err
+	if in.msgType == typeRequest && n == 5 {
+		meta, err := d.ReadString()
+		if err != nil {
+			return incoming{}, err
 		}
+		in.wireCtx, in.deadline = splitMeta(meta)
 	}
-	return msgid, method, args, msgType, wireCtx, nil
+	return in, nil
 }
 
 func encodeResponse(msgid int64, herr error, result any, spans []telemetry.SpanData) ([]byte, error) {
@@ -367,7 +712,14 @@ func encodeResponse(msgid int64, herr error, result any, spans []telemetry.SpanD
 	e.PutInt(typeResponse)
 	e.PutInt(msgid)
 	if herr != nil {
-		e.PutString(herr.Error())
+		// Busy rejections keep the error a plain string — old clients
+		// must still decode the frame — but carry the reserved prefix so
+		// new clients recover the retryable ErrBusy identity.
+		if errors.Is(herr, ErrBusy) {
+			e.PutString(busyWirePrefix + herr.Error())
+		} else {
+			e.PutString(herr.Error())
+		}
 	} else {
 		e.PutNil()
 	}
@@ -534,7 +886,11 @@ func decodeResponse(body []byte) (int64, response, error) {
 		if err != nil {
 			return 0, response{}, err
 		}
-		resp.err = ServerError(msg)
+		if rest, ok := strings.CutPrefix(msg, busyWirePrefix); ok {
+			resp.err = busyError(rest)
+		} else {
+			resp.err = ServerError(msg)
+		}
 	}
 	if resp.result, err = d.ReadAny(); err != nil {
 		return 0, response{}, err
@@ -583,7 +939,19 @@ func (c *Client) CallContext(ctx context.Context, method string, args ...any) (a
 }
 
 func (c *Client) callWire(ctx context.Context, method string, args []any, wireCtx string) (any, error) {
-	ch, msgid, err := c.send(method, args, wireCtx)
+	// Propagate the remaining deadline so the server can stop working on
+	// this request the moment we would stop waiting for it.
+	var deadline time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		deadline = time.Until(dl)
+		if deadline <= 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, context.DeadlineExceeded
+		}
+	}
+	ch, msgid, err := c.send(method, args, encodeMeta(wireCtx, deadline))
 	if err != nil {
 		return nil, err
 	}
@@ -601,8 +969,10 @@ func (c *Client) Call(method string, args ...any) (any, error) {
 	return c.CallContext(context.Background(), method, args...)
 }
 
-// send registers a pending call and writes the request frame.
-func (c *Client) send(method string, args []any, wireCtx string) (chan response, int64, error) {
+// send registers a pending call and writes the request frame. meta is
+// the request's fifth element — trace context plus optional deadline —
+// or empty for a plain four-element frame.
+func (c *Client) send(method string, args []any, meta string) (chan response, int64, error) {
 	c.mu.Lock()
 	if c.closed {
 		err := c.err
@@ -618,7 +988,7 @@ func (c *Client) send(method string, args []any, wireCtx string) (chan response,
 	c.pending[msgid] = ch
 	c.mu.Unlock()
 
-	body, err := encodeRequest(msgid, method, args, wireCtx)
+	body, err := encodeRequest(msgid, method, args, meta)
 	if err != nil {
 		c.abandon(msgid)
 		return nil, 0, err
@@ -680,9 +1050,9 @@ func (c *Client) abandon(msgid int64) {
 	c.mu.Unlock()
 }
 
-func encodeRequest(msgid int64, method string, args []any, wireCtx string) ([]byte, error) {
+func encodeRequest(msgid int64, method string, args []any, meta string) ([]byte, error) {
 	e := msgpack.NewEncoder(256)
-	if wireCtx != "" {
+	if meta != "" {
 		e.PutArrayLen(5)
 	} else {
 		e.PutArrayLen(4)
@@ -696,8 +1066,8 @@ func encodeRequest(msgid int64, method string, args []any, wireCtx string) ([]by
 			return nil, err
 		}
 	}
-	if wireCtx != "" {
-		e.PutString(wireCtx)
+	if meta != "" {
+		e.PutString(meta)
 	}
 	return e.Bytes(), nil
 }

@@ -261,8 +261,9 @@ func TestServerCloseStopsServe(t *testing.T) {
 	s.Close()
 	select {
 	case err := <-done:
-		if err != nil {
-			t.Errorf("Serve returned %v after Close", err)
+		// A deliberate stop is distinguishable from a transport failure.
+		if !errors.Is(err, ErrShutdown) {
+			t.Errorf("Serve returned %v after Close, want ErrShutdown", err)
 		}
 	case <-time.After(2 * time.Second):
 		t.Error("Serve did not return after Close")
