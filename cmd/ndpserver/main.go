@@ -46,11 +46,30 @@ func main() {
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight requests finish on SIGINT")
 		gbps     = flag.Float64("gbps", 0, "shape client traffic to this many Gb/s (0 = unshaped)")
 		latency  = flag.Duration("latency", 0, "one-way link latency to charge")
-		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/trace, and pprof on this address")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/trace, /debug/requests, /slo, and pprof on this address")
+		sloSpec  = flag.String("slo", "", `SLO objectives as "method=latency@latPct[/availPct]" entries, e.g. "ndp.fetch=50ms@99/99.9,*=250ms@99"; publishes telemetry.slo.* burn gauges and /slo`)
+		bundles  = flag.String("debug-bundles", "", "write anomaly-triggered debug bundles (recent wide events, trace tree, metrics) into this directory")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 	setLogLevel(*logLevel)
+
+	rec := telemetry.DefaultFlightRecorder()
+	if *sloSpec != "" {
+		objs, err := telemetry.ParseSLOSpec(*sloSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec.SetSLO(telemetry.NewSLOMonitor(telemetry.SLOOptions{}, objs...))
+	}
+	if *bundles != "" {
+		bw, err := telemetry.NewBundleWriter(*bundles, telemetry.BundleOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec.SetBundles(bw)
+		fmt.Printf("debug bundles in %s\n", bw.Dir())
+	}
 
 	if (*dir == "") == (*store == "") {
 		log.Fatal("specify exactly one of -dir or -store")

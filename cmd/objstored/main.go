@@ -31,11 +31,21 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:9000", "listen address")
 		gbps     = flag.Float64("gbps", 0, "shape served traffic to this many Gb/s (0 = unshaped)")
 		latency  = flag.Duration("latency", 0, "one-way link latency to charge")
-		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/trace, and pprof on this address")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /debug/trace, /debug/requests, /slo, and pprof on this address")
+		bundles  = flag.String("debug-bundles", "", "write anomaly-triggered debug bundles (recent wide events, trace tree, metrics) into this directory")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 	setLogLevel(*logLevel)
+
+	if *bundles != "" {
+		bw, err := telemetry.NewBundleWriter(*bundles, telemetry.BundleOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		telemetry.DefaultFlightRecorder().SetBundles(bw)
+		fmt.Printf("debug bundles in %s\n", bw.Dir())
+	}
 
 	srv, err := objstore.NewServer(*root)
 	if err != nil {

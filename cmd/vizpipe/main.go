@@ -75,9 +75,26 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "sweep: max in-flight requests (0 = library default)")
 		retries   = flag.Int("retries", 1, "ndp: attempts per call; >1 uses the reconnecting fault-tolerant client")
 		repeats   = flag.Int("repeats", 1, "measurement repetitions")
+		sloSpec   = flag.String("slo", "", `client-side SLO objectives as "method=latency@latPct[/availPct]" entries, e.g. "ndp.fetch=50ms@99/99.9"; prints a burn-rate summary after the run`)
 		verbose   = flag.Bool("v", false, "print the run's trace tree and metric deltas")
 	)
 	flag.Parse()
+
+	if *sloSpec != "" {
+		objs, err := telemetry.ParseSLOSpec(*sloSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// vizpipe observes from the client side, so the monitor scores the
+		// client's wide events (which include degraded fallbacks and
+		// retries) rather than a server's.
+		mon := telemetry.NewSLOMonitor(telemetry.SLOOptions{Kind: telemetry.KindClient}, objs...)
+		rec := telemetry.DefaultFlightRecorder()
+		rec.SetSLO(mon)
+		defer func() {
+			fmt.Print("\n" + mon.Summary())
+		}()
+	}
 
 	if *path == "" {
 		log.Fatal("-path is required")

@@ -29,6 +29,7 @@ package arraycache
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"time"
 
@@ -184,6 +185,16 @@ func (c *Cache) GetOrLoad(key Key, load func() (*Entry, error)) (*Entry, Outcome
 	c.mu.Unlock()
 	close(f.done)
 	return f.entry, Miss, f.err
+}
+
+// GetOrLoadContext is GetOrLoad plus wide-event enrichment: the lookup
+// outcome is stamped onto the in-flight request event carried by ctx
+// (a no-op when the request is not being recorded), so /debug/requests
+// shows hit/miss/coalesced per request, not just in aggregate.
+func (c *Cache) GetOrLoadContext(ctx context.Context, key Key, load func() (*Entry, error)) (*Entry, Outcome, error) {
+	e, outcome, err := c.GetOrLoad(key, load)
+	telemetry.EventFromContext(ctx).SetCache(outcome.String())
+	return e, outcome, err
 }
 
 // Get returns the resident entry for key, if any, without loading.

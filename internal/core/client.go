@@ -251,6 +251,28 @@ func (c *Client) FetchFilteredContext(ctx context.Context, path, array string, i
 	for i, v := range isovalues {
 		isos[i] = v
 	}
+	// The client-side wide event covers the whole fetch — retries,
+	// failovers, and the degraded fallback included — while the server
+	// records its own per-attempt events. The SLO monitor separates the
+	// two by kind.
+	ev := telemetry.DefaultFlightRecorder().Begin(telemetry.KindClient, MethodFetch)
+	ev.SetAttr("path", path)
+	ev.SetAttr("array", array)
+	if span := telemetry.SpanFromContext(ctx); span != nil {
+		ev.SetSpanIDs(span.Trace(), span.ID())
+	}
+	ctx = telemetry.ContextWithEvent(ctx, ev)
+	payload, st, err := c.fetchFiltered(ctx, path, array, isovalues, isos, enc, ev)
+	if st != nil {
+		ev.SetBytesIn(st.PayloadBytes)
+	}
+	ev.Finish(err)
+	return payload, st, err
+}
+
+// fetchFiltered is FetchFilteredContext's body, split out so the wide
+// event wraps every return path uniformly.
+func (c *Client) fetchFiltered(ctx context.Context, path, array string, isovalues []float64, isos []any, enc Encoding, ev *telemetry.ActiveEvent) (*Payload, *FetchStats, error) {
 	start := time.Now()
 	res, err := c.rpc.CallContext(ctx, MethodFetch, path, array, isos, enc.String())
 	if err != nil {
@@ -264,6 +286,7 @@ func (c *Client) FetchFilteredContext(ctx context.Context, path, array string, i
 			// not mask it.
 			return nil, nil, fmt.Errorf("core: pre-filtered fetch failed (%w); fallback also failed: %w", err, ferr)
 		}
+		ev.MarkDegraded()
 		clientLog.Warn("pre-filtered fetch degraded to raw transfer",
 			"path", path, "array", array, "err", err)
 		return payload, st, nil

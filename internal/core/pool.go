@@ -231,6 +231,7 @@ func (p *Pool) CallContext(ctx context.Context, method string, args ...any) (any
 		r := p.pick(last)
 		if last != nil && r != last {
 			mPoolFailovers.Inc()
+			telemetry.EventFromContext(ctx).AddFailover()
 			poolLog.Debug("failing over", "from", last.addr, "to", r.addr, "method", method)
 		}
 		result, err := r.client.CallContext(ctx, method, args...)

@@ -271,9 +271,11 @@ func (s *Server) readArrayOnce(path, array string) (*arraycache.Entry, error) {
 // loadArray resolves (path, array) through the cache when configured.
 // Without a cache every call reads storage; with one, concurrent
 // requests single-flight onto one read and repeats are served resident.
-func (s *Server) loadArray(path, array string) (*arraycache.Entry, arraycache.Outcome, error) {
+// The lookup outcome is stamped onto the request's wide event via ctx.
+func (s *Server) loadArray(ctx context.Context, path, array string) (*arraycache.Entry, arraycache.Outcome, error) {
 	if s.cache == nil {
 		e, err := s.readArrayOnce(path, array)
+		telemetry.EventFromContext(ctx).SetCache(arraycache.Miss.String())
 		return e, arraycache.Miss, err
 	}
 	ver, err := s.fileVersion(path)
@@ -281,7 +283,7 @@ func (s *Server) loadArray(path, array string) (*arraycache.Entry, arraycache.Ou
 		return nil, arraycache.Miss, err
 	}
 	key := arraycache.Key{Path: path, Array: array, Version: ver}
-	return s.cache.GetOrLoad(key, func() (*arraycache.Entry, error) {
+	return s.cache.GetOrLoadContext(ctx, key, func() (*arraycache.Entry, error) {
 		return s.readArrayOnce(path, array)
 	})
 }
@@ -300,8 +302,11 @@ func (s *Server) readArrayTimed(ctx context.Context, path, array string) (*grid.
 	defer span.End()
 	span.SetAttr("path", path)
 	span.SetAttr("array", array)
+	ev := telemetry.EventFromContext(ctx)
+	ev.SetAttr("path", path)
+	ev.SetAttr("array", array)
 	start := time.Now()
-	entry, outcome, err := s.loadArray(path, array)
+	entry, outcome, err := s.loadArray(ctx, path, array)
 	if err != nil {
 		span.SetAttr("error", err.Error())
 		return nil, nil, 0, err
@@ -396,6 +401,9 @@ func (s *Server) handleFetch(ctx context.Context, args []any) (any, error) {
 	fspan.SetAttr("payloadBytes", stats.PayloadBytes)
 	fspan.SetAttr("encoding", payload.Encoding.String())
 	fspan.End()
+	ev := telemetry.EventFromContext(ctx)
+	ev.SetAttr("selected", stats.SelectedPoints)
+	ev.SetAttr("payloadBytes", stats.PayloadBytes)
 	recordFetch(path, array, stats)
 	return map[string]any{
 		"payload":  payload.Data,
@@ -567,7 +575,7 @@ func (s *Server) handleFetchRaw(ctx context.Context, args []any) (any, error) {
 		// Serve from the decoded-array cache: re-serializing float32
 		// values is a bit-exact inverse of decoding, so the payload is
 		// identical to a fresh storage read.
-		entry, outcome, err := s.loadArray(path, array)
+		entry, outcome, err := s.loadArray(ctx, path, array)
 		if err != nil {
 			span.SetAttr("error", err.Error())
 			return nil, err

@@ -1,0 +1,25 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSLOExperimentReconciles runs the observability campaign. The
+// experiment hard-errors unless every shed, breach, and degraded fetch
+// appears as a wide event with correct flags, the burn-rate gauges
+// reconcile with the breach counters, a debug bundle containing the
+// breaching trace's span tree landed on disk, and the recorder costs
+// under 5% on the warm-cache path — so a nil error is the assertion.
+func TestSLOExperimentReconciles(t *testing.T) {
+	tbl, err := env.SLOExperiment("v03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"clean sweep", "slo burst", "forced fallback", "directed breach", "recorder overhead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q row:\n%s", want, out)
+		}
+	}
+}

@@ -146,6 +146,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		statusCounter(rec.status).Inc()
 		mReqBytesOut.Add(rec.bytes)
 		opSeconds(op).Observe(time.Since(start).Seconds())
+		// Each object request is also a wide event ("s3.<op>"), so
+		// objstored's /debug/requests answers per-request questions the
+		// same way ndpserver's does.
+		ev := telemetry.DefaultFlightRecorder().BeginAt(telemetry.KindServer, "s3."+op, start)
+		if r.ContentLength > 0 {
+			ev.SetBytesIn(r.ContentLength)
+		}
+		ev.SetBytesOut(rec.bytes)
+		ev.SetAttr("path", r.URL.Path)
+		ev.SetAttr("status", rec.status)
+		var herr error
+		if rec.status >= 400 {
+			herr = fmt.Errorf("objstore: %s %s -> %d", r.Method, r.URL.Path, rec.status)
+		}
+		ev.Finish(herr)
 		serverLog.Debug("request",
 			"method", r.Method, "path", r.URL.Path,
 			"op", op, "status", rec.status, "bytes", rec.bytes)

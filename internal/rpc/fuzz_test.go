@@ -70,3 +70,43 @@ func FuzzDecodeResponse(f *testing.F) {
 		_, _, _ = decodeResponse(data)
 	})
 }
+
+// FuzzParseWireContext hammers the request-meta parser — the
+// "<trace>:<span>;dl=<ns>" string a peer fully controls — with
+// arbitrary inputs, checking the invariants the server relies on:
+// splitMeta never yields a negative deadline, a successful trace parse
+// never yields zero ids, and whatever was decoded re-encodes to a meta
+// element that decodes identically (so a proxy may parse and re-emit).
+func FuzzParseWireContext(f *testing.F) {
+	f.Add("0123456789abcdef:fedcba9876543210;dl=2500000")
+	f.Add("0123456789abcdef:fedcba9876543210")
+	f.Add("deadbeef:cafe;dl=-42")
+	f.Add(";dl=1")
+	f.Add("::;dl=;dl=")
+	f.Add("0:0")
+	f.Add("ffffffffffffffff:ffffffffffffffff;dl=9223372036854775807")
+	f.Add("a;dl=99999999999999999999")
+	f.Add(encodeMeta("00ab:00cd", 3*time.Second))
+
+	f.Fuzz(func(t *testing.T, meta string) {
+		wireCtx, dl := splitMeta(meta)
+		if dl < 0 {
+			t.Fatalf("splitMeta(%q) produced negative deadline %v", meta, dl)
+		}
+		trace, span, ok := telemetry.ParseWireContext(wireCtx)
+		if ok && (trace == 0 || span == 0) {
+			t.Fatalf("ParseWireContext(%q) ok with zero id (trace=%d span=%d)", wireCtx, trace, span)
+		}
+		// Round trip: splitMeta's head never contains the separator, so
+		// re-encoding must reproduce both parts exactly.
+		wc2, dl2 := splitMeta(encodeMeta(wireCtx, dl))
+		if wc2 != wireCtx || dl2 != dl {
+			t.Fatalf("meta round trip changed (%q, %v) -> (%q, %v)", wireCtx, dl, wc2, dl2)
+		}
+		t2, s2, ok2 := telemetry.ParseWireContext(wc2)
+		if ok2 != ok || t2 != trace || s2 != span {
+			t.Fatalf("trace parse disagrees after round trip: (%d,%d,%v) vs (%d,%d,%v)",
+				trace, span, ok, t2, s2, ok2)
+		}
+	})
+}

@@ -210,6 +210,7 @@ func (rc *ReconnectClient) CallContext(ctx context.Context, method string, args 
 			return nil, err
 		}
 		mClientRetries.Inc()
+		telemetry.EventFromContext(ctx).AddRetry()
 		logger.Debug("retrying call", "method", method, "attempt", attempt, "err", err)
 		if werr := rc.backoff(ctx, attempt); werr != nil {
 			return nil, werr

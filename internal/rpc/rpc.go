@@ -493,6 +493,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		mServerBytesIn.Add(int64(len(body) + 4))
 		in, err := decodeIncoming(body)
+		in.frameBytes = len(body) + 4
 		if err != nil {
 			mServerProtoErrs.Inc()
 			logger.Warn("dropping connection on protocol error",
@@ -541,20 +542,37 @@ func (s *Server) runNotification(ctx context.Context, h Handler, in incoming) {
 
 // runRequest executes one call end to end: drain accounting, deadline
 // derivation, admission, dispatch, and the serialized response write.
+// Every non-healthz call also produces one wide event in the flight
+// recorder, assembled as the request moves through each stage.
 func (s *Server) runRequest(ctx context.Context, conn net.Conn, wmu *sync.Mutex, in incoming) {
 	mServerRequests.Inc()
 
 	// Health probes bypass accounting and admission: answering while
-	// the server is saturated or draining is their entire job.
+	// the server is saturated or draining is their entire job. They stay
+	// out of the flight recorder too — a probe per second would drown
+	// the ring in noise.
 	if in.method == MethodHealthz {
 		result, herr := s.dispatch(ctx, in.method, in.args)
 		s.respond(conn, wmu, in.msgid, herr, result, nil)
 		return
 	}
 
+	ev := telemetry.DefaultFlightRecorder().Begin(telemetry.KindServer, in.method)
+	ev.SetBytesIn(int64(in.frameBytes))
+	if in.deadline > 0 {
+		ev.SetBudget(in.deadline)
+	}
+	wireTrace, wireSpan, traced := telemetry.ParseWireContext(in.wireCtx)
+	if traced {
+		ev.SetSpanIDs(wireTrace, wireSpan)
+	}
+
 	if !s.beginRequest() {
 		mServerShed.Inc()
-		s.respond(conn, wmu, in.msgid, fmt.Errorf("%w: draining", ErrBusy), nil, nil)
+		ev.MarkShed()
+		herr := fmt.Errorf("%w: draining", ErrBusy)
+		ev.SetBytesOut(s.respond(conn, wmu, in.msgid, herr, nil, nil))
+		ev.Finish(herr)
 		return
 	}
 	defer s.endRequest()
@@ -569,13 +587,20 @@ func (s *Server) runRequest(ctx context.Context, conn net.Conn, wmu *sync.Mutex,
 		defer cancel()
 	}
 
+	queueStart := time.Now()
 	release, err := s.admit(hctx)
+	ev.SetQueueWait(time.Since(queueStart))
 	if err != nil {
+		if errors.Is(err, ErrBusy) {
+			ev.MarkShed()
+		}
 		if in.deadline > 0 && errors.Is(err, context.DeadlineExceeded) {
 			mServerDeadlines.Inc()
+			ev.MarkExpired()
 			err = fmt.Errorf("rpc: deadline expired in admission queue: %w", err)
 		}
-		s.respond(conn, wmu, in.msgid, err, nil, nil)
+		ev.SetBytesOut(s.respond(conn, wmu, in.msgid, err, nil, nil))
+		ev.Finish(err)
 		return
 	}
 	defer release()
@@ -587,21 +612,27 @@ func (s *Server) runRequest(ctx context.Context, conn net.Conn, wmu *sync.Mutex,
 	// spans finished while handling it so they can ride back in the
 	// response.
 	var collector *telemetry.SpanCollector
-	if trace, parent, ok := telemetry.ParseWireContext(in.wireCtx); ok {
-		hctx = telemetry.ContextWithRemoteParent(hctx, trace, parent)
+	if traced {
+		hctx = telemetry.ContextWithRemoteParent(hctx, wireTrace, wireSpan)
 		hctx, collector = telemetry.WithCollector(hctx)
 	}
 	hctx, span := telemetry.StartSpan(hctx, "serve "+in.method)
+	ev.SetSpanIDs(span.Trace(), span.ID())
+	hctx = telemetry.ContextWithEvent(hctx, ev)
 	start := time.Now()
 	result, herr := s.dispatch(hctx, in.method, in.args)
-	mServerSeconds.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start).Seconds()
+	mServerSeconds.ObserveExemplar(elapsed, span.Trace())
+	methodSeconds(in.method).ObserveExemplar(elapsed, span.Trace())
 	if herr != nil {
 		mServerErrors.Inc()
+		methodErrors(in.method).Inc()
 		span.SetAttr("error", herr.Error())
 		logger.Debug("handler error", "method", in.method, "err", herr)
 	}
 	if in.deadline > 0 && errors.Is(hctx.Err(), context.DeadlineExceeded) {
 		mServerDeadlines.Inc()
+		ev.MarkExpired()
 		span.SetAttr("deadline", "expired")
 	}
 	span.End()
@@ -609,12 +640,26 @@ func (s *Server) runRequest(ctx context.Context, conn net.Conn, wmu *sync.Mutex,
 	if collector != nil {
 		spans = collector.Drain()
 	}
-	s.respond(conn, wmu, in.msgid, herr, result, spans)
+	ev.SetBytesOut(s.respond(conn, wmu, in.msgid, herr, result, spans))
+	ev.Finish(herr)
+}
+
+// methodSeconds / methodErrors are the per-method dispatch metrics
+// (rpc.server.call.<method>.seconds / .errors); registry lookups are
+// create-on-first-use behind an RLock, so the per-call cost is a map
+// read.
+func methodSeconds(method string) *telemetry.Histogram {
+	return telemetry.Default().Histogram("rpc.server.call."+method+".seconds", telemetry.DurationBuckets)
+}
+
+func methodErrors(method string) *telemetry.Counter {
+	return telemetry.Default().Counter("rpc.server.call." + method + ".errors")
 }
 
 // respond encodes and writes one response frame under the connection's
-// write mutex.
-func (s *Server) respond(conn net.Conn, wmu *sync.Mutex, msgid int64, herr error, result any, spans []telemetry.SpanData) {
+// write mutex, returning the wire bytes written (0 when the write
+// failed).
+func (s *Server) respond(conn net.Conn, wmu *sync.Mutex, msgid int64, herr error, result any, spans []telemetry.SpanData) int64 {
 	resp, err := encodeResponse(msgid, herr, result, spans)
 	if err != nil {
 		resp, _ = encodeResponse(msgid,
@@ -624,7 +669,9 @@ func (s *Server) respond(conn net.Conn, wmu *sync.Mutex, msgid int64, herr error
 	defer wmu.Unlock()
 	if writeFrame(conn, resp) == nil {
 		mServerBytesOut.Add(int64(len(resp) + 4))
+		return int64(len(resp) + 4)
 	}
+	return 0
 }
 
 func (s *Server) lookup(method string) Handler {
@@ -643,12 +690,13 @@ func (s *Server) dispatch(ctx context.Context, method string, args []any) (any, 
 
 // incoming is one decoded request or notification frame.
 type incoming struct {
-	msgType  int64
-	msgid    int64
-	method   string
-	args     []any
-	wireCtx  string
-	deadline time.Duration // caller's remaining deadline; 0 = none
+	msgType    int64
+	msgid      int64
+	method     string
+	args       []any
+	wireCtx    string
+	deadline   time.Duration // caller's remaining deadline; 0 = none
+	frameBytes int           // wire size of the request frame (set by ServeConn)
 }
 
 // decodeIncoming parses a request or notification frame. Requests may

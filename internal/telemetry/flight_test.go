@@ -1,0 +1,338 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestActiveEventOutcomeDerivation(t *testing.T) {
+	rec := NewFlightRecorder(16)
+
+	cases := []struct {
+		name    string
+		build   func(a *ActiveEvent)
+		err     error
+		outcome string
+	}{
+		{"ok", func(a *ActiveEvent) {}, nil, OutcomeOK},
+		{"error", func(a *ActiveEvent) {}, errors.New("boom"), OutcomeError},
+		{"shed wins over error", func(a *ActiveEvent) { a.MarkShed() }, errors.New("busy"), OutcomeShed},
+		{"expired wins over error", func(a *ActiveEvent) { a.MarkExpired() }, errors.New("deadline"), OutcomeExpired},
+	}
+	for _, tc := range cases {
+		a := rec.Begin(KindServer, "m."+tc.name)
+		tc.build(a)
+		a.Finish(tc.err)
+		evs := rec.Events(EventFilter{Method: "m." + tc.name})
+		if len(evs) != 1 {
+			t.Fatalf("%s: got %d events, want 1", tc.name, len(evs))
+		}
+		if evs[0].Outcome != tc.outcome {
+			t.Errorf("%s: outcome %q, want %q", tc.name, evs[0].Outcome, tc.outcome)
+		}
+	}
+
+	// Finish is idempotent: the second call must not record a second event.
+	a := rec.Begin(KindServer, "m.once")
+	a.Finish(nil)
+	a.Finish(errors.New("late"))
+	if got := len(rec.Events(EventFilter{Method: "m.once"})); got != 1 {
+		t.Errorf("double Finish recorded %d events, want 1", got)
+	}
+
+	// Every builder method must be a no-op on a nil receiver — enrichment
+	// sites never check whether recording is active.
+	var nilEv *ActiveEvent
+	nilEv.SetSpanIDs(1, 2)
+	nilEv.SetQueueWait(time.Second)
+	nilEv.SetBudget(time.Second)
+	nilEv.SetBytesIn(1)
+	nilEv.SetBytesOut(1)
+	nilEv.SetCache("hit")
+	nilEv.MarkShed()
+	nilEv.MarkExpired()
+	nilEv.MarkDegraded()
+	nilEv.AddRetry()
+	nilEv.AddFailover()
+	nilEv.SetAttr("k", "v")
+	nilEv.Finish(nil)
+}
+
+func TestFlightRecorderRingAndFilters(t *testing.T) {
+	rec := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		a := rec.Begin(KindServer, "ndp.fetch")
+		if i%2 == 1 {
+			a.MarkShed()
+		}
+		a.Finish(nil)
+	}
+	// Capacity 4 after 10 records: only seqs 7..10 survive, oldest first.
+	evs := rec.Events(EventFilter{})
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Errorf("event %d has seq %d, want %d (oldest first)", i, ev.Seq, want)
+		}
+	}
+	if got := len(rec.Events(EventFilter{Outcome: OutcomeShed})); got != 2 {
+		t.Errorf("outcome filter matched %d, want 2 (seqs 8 and 10)", got)
+	}
+	if got := len(rec.Events(EventFilter{AnomalousOnly: true})); got != 2 {
+		t.Errorf("anomalous filter matched %d, want 2", got)
+	}
+	if got := len(rec.Events(EventFilter{SinceSeq: 9})); got != 1 {
+		t.Errorf("since-seq filter matched %d, want 1", got)
+	}
+	if got := rec.Events(EventFilter{Limit: 2}); len(got) != 2 || got[1].Seq != 10 {
+		t.Errorf("limit filter should keep the 2 most recent, got %+v", got)
+	}
+	if got := len(rec.Events(EventFilter{Method: "other"})); got != 0 {
+		t.Errorf("method filter matched %d, want 0", got)
+	}
+	if got := len(rec.Events(EventFilter{MinDur: time.Hour})); got != 0 {
+		t.Errorf("min-duration filter matched %d, want 0", got)
+	}
+
+	// Disabled recorder drops events after one atomic load.
+	rec.SetEnabled(false)
+	rec.Begin(KindServer, "ndp.fetch").Finish(nil)
+	if rec.Seq() != 10 {
+		t.Errorf("disabled recorder still assigned seq %d", rec.Seq())
+	}
+}
+
+func TestSLOMonitorBurnAccounting(t *testing.T) {
+	reg := NewRegistry()
+	frozen := time.Date(2026, 8, 8, 12, 0, 30, 0, time.UTC)
+	m := NewSLOMonitor(SLOOptions{
+		Step: time.Minute, FastN: 2, SlowN: 30,
+		Registry: reg,
+		now:      func() time.Time { return frozen },
+	}, Objective{
+		Method:        "ndp.fetch",
+		Latency:       100 * time.Millisecond,
+		LatencyTarget: 0.9,
+		AvailTarget:   0.999,
+	})
+
+	obs := func(kind, method, outcome string, durMS float64, shed bool) bool {
+		return m.Observe(&WideEvent{Kind: kind, Method: method, Outcome: outcome, DurMS: durMS, Shed: shed})
+	}
+	// 8 fast successes, 1 slow success (latency breach), 1 shed
+	// (availability breach; not executed, so it can't be "slow").
+	for i := 0; i < 8; i++ {
+		if obs(KindServer, "ndp.fetch", OutcomeOK, 10, false) {
+			t.Fatal("fast success scored as a breach")
+		}
+	}
+	if !obs(KindServer, "ndp.fetch", OutcomeOK, 250, false) {
+		t.Error("slow request did not breach the latency objective")
+	}
+	if !obs(KindServer, "ndp.fetch", OutcomeShed, 0.1, true) {
+		t.Error("shed request did not breach the availability objective")
+	}
+	// Client events and unmonitored methods must not count.
+	if obs(KindClient, "ndp.fetch", OutcomeError, 500, false) {
+		t.Error("client-kind event scored against a server monitor")
+	}
+	if obs(KindServer, "ndp.describe", OutcomeError, 500, false) {
+		t.Error("method without an objective scored as a breach")
+	}
+
+	st := m.Status()
+	if len(st) != 1 {
+		t.Fatalf("got %d status rows, want 1", len(st))
+	}
+	s := st[0]
+	if s.Total != 10 || s.Bad != 1 || s.Executed != 9 || s.LatSlow != 1 || s.Breaches != 2 {
+		t.Fatalf("tallies total=%d bad=%d executed=%d latSlow=%d breaches=%d, want 10/1/9/1/2",
+			s.Total, s.Bad, s.Executed, s.LatSlow, s.Breaches)
+	}
+	// Burn = (bad fraction) / (error budget): avail (1/10)/0.001 = 100,
+	// latency (1/9)/0.1 = 10/9. Gauges carry them in milli-units.
+	if g := reg.Gauge("telemetry.slo.ndp.fetch.avail.burn.fast").Value(); g != 100000 {
+		t.Errorf("avail burn gauge %d, want 100000", g)
+	}
+	if g := reg.Gauge("telemetry.slo.ndp.fetch.latency.burn.fast").Value(); g != 1111 {
+		t.Errorf("latency burn gauge %d, want 1111 (10/9 in milli-units)", g)
+	}
+	if c := reg.Counter("telemetry.slo.ndp.fetch.breaches").Value(); c != 2 {
+		t.Errorf("breach counter %d, want 2", c)
+	}
+
+	// A recorder with the monitor attached stamps Breached on the stored
+	// event.
+	rec := NewFlightRecorder(8)
+	rec.SetSLO(m)
+	a := rec.Begin(KindServer, "ndp.fetch")
+	a.MarkShed()
+	a.Finish(errors.New("busy"))
+	evs := rec.Events(EventFilter{})
+	if len(evs) != 1 || !evs[0].Breached {
+		t.Errorf("recorded shed event not stamped Breached: %+v", evs)
+	}
+}
+
+func TestSLOMonitorDefaultObjective(t *testing.T) {
+	reg := NewRegistry()
+	m := NewSLOMonitor(SLOOptions{Registry: reg},
+		Objective{Method: "*", Latency: 50 * time.Millisecond})
+	if !m.Observe(&WideEvent{Kind: KindServer, Method: "anything", Outcome: OutcomeError, DurMS: 1}) {
+		t.Error("star objective did not cover an arbitrary method")
+	}
+}
+
+func TestParseSLOSpec(t *testing.T) {
+	objs, err := ParseSLOSpec("ndp.fetch=50ms@99/99.9,*=250ms@99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("got %d objectives, want 2", len(objs))
+	}
+	near := func(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+	if objs[0].Method != "ndp.fetch" || objs[0].Latency != 50*time.Millisecond ||
+		!near(objs[0].LatencyTarget, 0.99) || !near(objs[0].AvailTarget, 0.999) {
+		t.Errorf("first objective parsed as %+v", objs[0])
+	}
+	if objs[1].Method != "*" || !near(objs[1].AvailTarget, 0.999) {
+		t.Errorf("second objective should default avail to 99.9%%, got %+v", objs[1])
+	}
+	for _, bad := range []string{"nofields", "m=xyz@99", "m=50ms", "m=50ms@150", "m=50ms@99/0"} {
+		if _, err := ParseSLOSpec(bad); err == nil {
+			t.Errorf("ParseSLOSpec(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func TestBundleWriterWritesAndRateLimits(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	tr := NewTracer(64)
+	bw, err := NewBundleWriter(dir, BundleOptions{
+		MinInterval: time.Hour, // second trigger inside the gap must be suppressed
+		Registry:    reg,
+		Tracer:      tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A trace with two spans so the bundle's tree is non-trivial.
+	const trace = uint64(0xabcd)
+	tr.Record(SpanData{Trace: trace, ID: 1, Name: "serve ndp.fetch", Start: time.Unix(0, 1)})
+	tr.Record(SpanData{Trace: trace, ID: 2, Parent: 1, Name: "read", Start: time.Unix(0, 2)})
+	tr.Record(SpanData{Trace: 0x9999, ID: 3, Name: "other trace", Start: time.Unix(0, 3)})
+
+	rec := NewFlightRecorder(8)
+	a := rec.Begin(KindServer, "ndp.fetch")
+	a.Finish(nil)
+
+	trigger := WideEvent{Kind: KindServer, Method: "ndp.fetch", Outcome: OutcomeError, traceID: trace}
+	bw.MaybeWrite(trigger, rec)
+	bw.MaybeWrite(trigger, rec)
+	if got := bw.Written(); got != 1 {
+		t.Fatalf("wrote %d bundles, want 1 (second inside MinInterval)", got)
+	}
+	if v := reg.Counter("telemetry.bundles.suppressed").Value(); v != 1 {
+		t.Errorf("suppressed counter %d, want 1", v)
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "bundle-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("bundle files on disk: %v (err %v), want exactly 1", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b DebugBundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("bundle is not valid JSON: %v", err)
+	}
+	if b.Trigger.Method != "ndp.fetch" || b.Trigger.Outcome != OutcomeError {
+		t.Errorf("trigger round-tripped as %+v", b.Trigger)
+	}
+	if len(b.Recent) != 1 {
+		t.Errorf("bundle embeds %d recent events, want 1", len(b.Recent))
+	}
+	if len(b.Spans) != 2 {
+		t.Errorf("bundle has %d spans, want the trigger trace's 2 (not the other trace's)", len(b.Spans))
+	}
+	if !strings.Contains(b.TraceTree, "serve ndp.fetch") || !strings.Contains(b.TraceTree, "read") {
+		t.Errorf("trace tree missing spans:\n%s", b.TraceTree)
+	}
+}
+
+func TestBundleWriterEvictsOldest(t *testing.T) {
+	dir := t.TempDir()
+	bw, err := NewBundleWriter(dir, BundleOptions{
+		MinInterval: time.Nanosecond,
+		MaxBundles:  2,
+		Registry:    NewRegistry(),
+		Tracer:      NewTracer(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		bw.MaybeWrite(WideEvent{Method: "m", Outcome: OutcomeError}, nil)
+		time.Sleep(2 * time.Millisecond) // clear MinInterval between triggers
+	}
+	if got := bw.Written(); got != 5 {
+		t.Fatalf("wrote %d bundles, want 5", got)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "bundle-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Errorf("kept %d bundle files, want MaxBundles=2: %v", len(files), files)
+	}
+}
+
+func TestWriteTextOmitsEmptyHistogramStats(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("empty.seconds", DurationBuckets)
+	h := reg.Histogram("busy.seconds", DurationBuckets)
+	h.ObserveExemplar(0.5, 0xbeef)
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "empty.seconds.count 0") {
+		t.Errorf("empty histogram should still report count 0:\n%s", out)
+	}
+	for _, stat := range []string{".min", ".max", ".p50", ".p95", ".p99"} {
+		if strings.Contains(out, "empty.seconds"+stat) {
+			t.Errorf("empty histogram emitted meaningless %s line:\n%s", stat, out)
+		}
+	}
+	if !strings.Contains(out, "busy.seconds.p50") {
+		t.Errorf("populated histogram lost its percentile lines:\n%s", out)
+	}
+	if !strings.Contains(out, "busy.seconds.tail.exemplar 000000000000beef") {
+		t.Errorf("tail exemplar line missing:\n%s", out)
+	}
+
+	// The JSON snapshot behaves the same: zero stats, not garbage.
+	snap := reg.Snapshot()
+	es := snap.Histograms["empty.seconds"]
+	if es.Count != 0 || es.Min != 0 || es.Max != 0 || es.P50 != 0 {
+		t.Errorf("empty histogram snapshot carries stats: %+v", es)
+	}
+	if snap.Histograms["busy.seconds"].TailExemplar != "000000000000beef" {
+		t.Errorf("snapshot tail exemplar = %q", snap.Histograms["busy.seconds"].TailExemplar)
+	}
+}

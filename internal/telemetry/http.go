@@ -5,17 +5,24 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"time"
 )
 
 // DebugHandler serves the operational endpoints for one process:
 //
-//	/metrics       flat text dump of the registry (name value lines)
-//	/metrics.json  the same as JSON
-//	/debug/trace   JSON array of the tracer's retained spans
+//	/metrics          flat text dump of the registry (name value lines)
+//	/metrics.json     the same as JSON
+//	/debug/trace      JSON array of the tracer's retained spans;
+//	                  ?trace=<hex> restricts to one trace
 //	/debug/trace.txt  the spans rendered as indented trace trees
-//	/debug/pprof/  the standard net/http/pprof handlers
+//	/debug/requests   the flight recorder's wide events as JSON;
+//	                  ?method= ?outcome= ?min_dur= ?anomalous=1 ?limit=
+//	/slo              the SLO monitor's burn-rate status as JSON
+//	/debug/pprof/     the standard net/http/pprof handlers
 //
-// Pass nil to use the process-wide default registry and tracer.
+// Pass nil to use the process-wide default registry and tracer; the
+// flight recorder and SLO monitor are always the process-wide defaults.
 func DebugHandler(reg *Registry, tr *Tracer) http.Handler {
 	if reg == nil {
 		reg = Default()
@@ -32,8 +39,16 @@ func DebugHandler(reg *Registry, tr *Tracer) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(reg.Snapshot())
 	})
-	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		spans := tr.Spans()
+		if hex := r.URL.Query().Get("trace"); hex != "" {
+			if id, err := strconv.ParseUint(hex, 16, 64); err == nil {
+				spans = tr.TraceSpans(id)
+			} else {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+		}
 		for i := range spans {
 			spans[i].fillHex()
 		}
@@ -45,6 +60,45 @@ func DebugHandler(reg *Registry, tr *Tracer) http.Handler {
 	mux.HandleFunc("/debug/trace.txt", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte(FormatTree(tr.Spans())))
+	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		f := EventFilter{
+			Method:  q.Get("method"),
+			Outcome: q.Get("outcome"),
+		}
+		if v := q.Get("min_dur"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad min_dur", http.StatusBadRequest)
+				return
+			}
+			f.MinDur = d
+		}
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		if v := q.Get("anomalous"); v == "1" || v == "true" {
+			f.AnomalousOnly = true
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(DefaultFlightRecorder().Events(f))
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		m := DefaultFlightRecorder().SLO()
+		if m == nil {
+			_, _ = w.Write([]byte("[]\n"))
+			return
+		}
+		_, _ = w.Write(m.StatusJSON())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -61,7 +61,9 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // histWindow is how many recent observations a histogram retains for
 // exact percentile snapshots. Bucket counts cover the full lifetime;
 // the window covers "recent behaviour", which is what p50/p95/p99 on a
-// live server should describe.
+// live server should describe. Percentile lines in snapshots and
+// /metrics are therefore exact over (at most) the last histWindow
+// observations, not estimates over the lifetime buckets.
 const histWindow = 1024
 
 // DurationBuckets are the default latency bucket upper bounds in
@@ -92,6 +94,14 @@ type Histogram struct {
 	max     float64
 	window  []float64 // ring of recent observations
 	windowN int       // next write position
+
+	// exemplars[i] is the trace ID of the most recent exemplar-bearing
+	// observation that landed in bucket i; tailTrace is the one from the
+	// highest populated bucket so far — the "worst case seen", linking
+	// /metrics tails straight to /debug/trace.
+	exemplars  []uint64
+	tailTrace  uint64
+	tailBucket int
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -107,7 +117,12 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, 0) }
+
+// ObserveExemplar records one value and, when trace is nonzero, keeps
+// it as the bucket's exemplar — and as the histogram's tail exemplar if
+// the value landed in the highest exemplar-bearing bucket so far.
+func (h *Histogram) ObserveExemplar(v float64, trace uint64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.mu.Lock()
 	h.counts[i]++
@@ -125,21 +140,36 @@ func (h *Histogram) Observe(v float64) {
 		h.window[h.windowN%histWindow] = v
 	}
 	h.windowN++
+	if trace != 0 {
+		if h.exemplars == nil {
+			h.exemplars = make([]uint64, len(h.counts))
+		}
+		h.exemplars[i] = trace
+		if i >= h.tailBucket {
+			h.tailBucket = i
+			h.tailTrace = trace
+		}
+	}
 	h.mu.Unlock()
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram's state.
 type HistogramSnapshot struct {
-	Count    int64     `json:"count"`
-	Sum      float64   `json:"sum"`
-	Min      float64   `json:"min"`
-	Max      float64   `json:"max"`
-	P50      float64   `json:"p50"`
-	P95      float64   `json:"p95"`
-	P99      float64   `json:"p99"`
-	Bounds   []float64 `json:"bounds"`
-	Buckets  []int64   `json:"buckets"`
-	windowed []float64
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	P50     float64   `json:"p50"`
+	P95     float64   `json:"p95"`
+	P99     float64   `json:"p99"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+	// Exemplars maps bucket index → hex trace ID of an observation that
+	// landed there; TailExemplar is the trace behind the worst-bucket
+	// observation (the /metrics tail ↔ /debug/trace link).
+	Exemplars    map[int]string `json:"exemplars,omitempty"`
+	TailExemplar string         `json:"tailExemplar,omitempty"`
+	windowed     []float64
 }
 
 // Quantile returns the p-quantile (p in [0, 1]) over the snapshot's
@@ -160,6 +190,17 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	if h.count > 0 {
 		s.Min, s.Max = h.min, h.max
+	}
+	if h.tailTrace != 0 {
+		s.TailExemplar = fmt.Sprintf("%016x", h.tailTrace)
+	}
+	for i, t := range h.exemplars {
+		if t != 0 {
+			if s.Exemplars == nil {
+				s.Exemplars = make(map[int]string)
+			}
+			s.Exemplars[i] = fmt.Sprintf("%016x", t)
+		}
 	}
 	s.windowed = append([]float64(nil), h.window...)
 	h.mu.Unlock()
@@ -280,9 +321,17 @@ func (r *Registry) Snapshot() Snapshot {
 // WriteText renders the registry in a flat "name value" text format
 // (one line per scalar; histograms expand to .count/.sum/.min/.max and
 // percentile lines), sorted by name — the /metrics wire format.
+//
+// Empty histograms emit only their .count and .sum lines: a min/max or
+// percentile of a histogram with no observations is undefined, and the
+// 0 values previously printed read as "observed zeros". Percentiles are
+// exact over the bounded recent-observation window (histWindow), not
+// the full lifetime. Histograms with a tail exemplar also emit a
+// .tail.exemplar line carrying the hex trace ID of the worst-bucket
+// observation, so a slow /metrics tail links to /debug/trace.
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
-	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+7*len(s.Histograms))
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+8*len(s.Histograms))
 	for name, v := range s.Counters {
 		lines = append(lines, fmt.Sprintf("%s %d", name, v))
 	}
@@ -293,12 +342,19 @@ func (r *Registry) WriteText(w io.Writer) error {
 		lines = append(lines,
 			fmt.Sprintf("%s.count %d", name, h.Count),
 			fmt.Sprintf("%s.sum %g", name, h.Sum),
-			fmt.Sprintf("%s.min %g", name, h.Min),
-			fmt.Sprintf("%s.max %g", name, h.Max),
-			fmt.Sprintf("%s.p50 %g", name, h.P50),
-			fmt.Sprintf("%s.p95 %g", name, h.P95),
-			fmt.Sprintf("%s.p99 %g", name, h.P99),
 		)
+		if h.Count > 0 {
+			lines = append(lines,
+				fmt.Sprintf("%s.min %g", name, h.Min),
+				fmt.Sprintf("%s.max %g", name, h.Max),
+				fmt.Sprintf("%s.p50 %g", name, h.P50),
+				fmt.Sprintf("%s.p95 %g", name, h.P95),
+				fmt.Sprintf("%s.p99 %g", name, h.P99),
+			)
+		}
+		if h.TailExemplar != "" {
+			lines = append(lines, fmt.Sprintf("%s.tail.exemplar %s", name, h.TailExemplar))
+		}
 	}
 	sort.Strings(lines)
 	for _, l := range lines {
