@@ -41,6 +41,8 @@ func main() {
 		store    = flag.String("store", "", "object store address to mount instead of -dir")
 		bucket   = flag.String("bucket", "sim", "object store bucket")
 		cacheB   = flag.Int64("cache-bytes", 0, "decoded-array cache budget in bytes (0 = off)")
+		coalesce = flag.Bool("coalesce", false, "batch concurrent fetches of the same array into shared multi-isovalue scans")
+		payloadB = flag.Int64("payload-cache-bytes", 0, "encoded-payload cache budget in bytes; identical repeat fetches skip read and scan (0 = off)")
 		maxInFl  = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = unbounded)")
 		queue    = flag.Int("queue", 0, "admission queue length beyond -max-inflight; full queue sheds with a retryable busy error")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight requests finish on SIGINT")
@@ -83,8 +85,15 @@ func main() {
 		fsys = s3fs.New(objstore.NewClient(*store, nil), *bucket)
 	}
 
-	srv := core.NewServer(fsys, core.WithCacheBytes(*cacheB),
-		core.WithMaxInFlight(*maxInFl), core.WithQueue(*queue))
+	srvOpts := []core.ServerOption{core.WithCacheBytes(*cacheB),
+		core.WithMaxInFlight(*maxInFl), core.WithQueue(*queue)}
+	if *coalesce {
+		srvOpts = append(srvOpts, core.WithCoalesce(core.DefaultCoalesceWindow))
+	}
+	if *payloadB > 0 {
+		srvOpts = append(srvOpts, core.WithPayloadCacheBytes(*payloadB))
+	}
+	srv := core.NewServer(fsys, srvOpts...)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -108,6 +117,12 @@ func main() {
 	}
 	if *cacheB > 0 {
 		fmt.Printf(" (array cache %d bytes)", *cacheB)
+	}
+	if *coalesce {
+		fmt.Print(" (scan coalescing)")
+	}
+	if *payloadB > 0 {
+		fmt.Printf(" (payload cache %d bytes)", *payloadB)
 	}
 	fmt.Println()
 

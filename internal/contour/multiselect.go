@@ -1,0 +1,51 @@
+package contour
+
+import (
+	"vizndp/internal/bitset"
+	"vizndp/internal/grid"
+)
+
+// Multi-isovalue scan splitting for shared pre-filter scans.
+//
+// SelectCellCorners over a set of isovalues is, by construction, the
+// bitwise union of the single-isovalue selections: the 3D path ORs one
+// bit-parallel pass per isovalue into a shared mask, and the 2D path
+// marks a cell's corners when ANY isovalue straddles its corner range.
+// That makes the selection splittable — a server can batch concurrent
+// requests with different isovalue sets into ONE scan over the union of
+// the isovalues, keep the per-isovalue masks, and recover each caller's
+// exact selection by OR-ing its subset back together. The recovered mask
+// is bit-identical to what a dedicated SelectCellCorners call would have
+// produced, which is what makes server-side scan coalescing safe.
+
+// SelectCellCornersEach runs the cell-corner selection once per isovalue
+// and returns the per-isovalue masks in input order. UnionMasks over any
+// subset of them equals SelectCellCorners over the matching isovalues;
+// TestSelectSplitUnion pins that invariant.
+func SelectCellCornersEach(g *grid.Uniform, values []float32, isovalues []float64) ([]*bitset.Bitset, error) {
+	if err := validateInputs(g, values, isovalues); err != nil {
+		return nil, err
+	}
+	out := make([]*bitset.Bitset, len(isovalues))
+	for i := range isovalues {
+		mask, err := SelectCellCorners(g, values, isovalues[i:i+1])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = mask
+	}
+	return out, nil
+}
+
+// UnionMasks ORs the given masks into a fresh bitmap of nbits. Every
+// mask must have exactly nbits; the result does not alias any input.
+func UnionMasks(nbits int, masks ...*bitset.Bitset) *bitset.Bitset {
+	if len(masks) == 1 {
+		return masks[0].Clone()
+	}
+	out := bitset.New(nbits)
+	for _, m := range masks {
+		out.Or(m)
+	}
+	return out
+}

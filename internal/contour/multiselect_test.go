@@ -1,0 +1,121 @@
+package contour
+
+import (
+	"math/rand"
+	"testing"
+
+	"vizndp/internal/bitset"
+)
+
+// maskEqual compares two bitmaps word by word.
+func maskEqual(a, b *bitset.Bitset) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	aw, bw := a.Words(), b.Words()
+	for i := range aw {
+		if aw[i] != bw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSelectSplitUnion pins the invariant scan coalescing depends on:
+// for any subset of isovalues, OR-ing the per-isovalue masks from
+// SelectCellCornersEach reproduces SelectCellCorners over that subset
+// bit for bit, on both the 3D and the 2D selection paths.
+func TestSelectSplitUnion(t *testing.T) {
+	isos := []float64{6, 9, 12.5, 14}
+	subsets := [][]int{{0}, {1, 3}, {0, 2}, {0, 1, 2, 3}, {3, 1}}
+
+	t.Run("3d", func(t *testing.T) {
+		g, vals := sphereField(24)
+		checkSplitUnion(t, g.NumPoints(), vals, isos, subsets, func(sub []float64) *bitset.Bitset {
+			m, err := SelectCellCorners(g, vals, sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}, func() []*bitset.Bitset {
+			ms, err := SelectCellCornersEach(g, vals, isos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ms
+		})
+	})
+
+	t.Run("2d", func(t *testing.T) {
+		g, vals := circleField(32)
+		checkSplitUnion(t, g.NumPoints(), vals, isos, subsets, func(sub []float64) *bitset.Bitset {
+			m, err := SelectCellCorners(g, vals, sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}, func() []*bitset.Bitset {
+			ms, err := SelectCellCornersEach(g, vals, isos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ms
+		})
+	})
+
+	t.Run("3d-random", func(t *testing.T) {
+		g, vals := sphereField(16)
+		rng := rand.New(rand.NewSource(7))
+		for i := range vals {
+			vals[i] += float32(rng.NormFloat64())
+		}
+		checkSplitUnion(t, g.NumPoints(), vals, isos, subsets, func(sub []float64) *bitset.Bitset {
+			m, err := SelectCellCorners(g, vals, sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}, func() []*bitset.Bitset {
+			ms, err := SelectCellCornersEach(g, vals, isos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ms
+		})
+	})
+}
+
+func checkSplitUnion(t *testing.T, nbits int, vals []float32, isos []float64,
+	subsets [][]int, direct func([]float64) *bitset.Bitset, each func() []*bitset.Bitset) {
+	t.Helper()
+	per := each()
+	if len(per) != len(isos) {
+		t.Fatalf("got %d masks for %d isovalues", len(per), len(isos))
+	}
+	for _, sub := range subsets {
+		subIsos := make([]float64, len(sub))
+		subMasks := make([]*bitset.Bitset, len(sub))
+		for i, idx := range sub {
+			subIsos[i] = isos[idx]
+			subMasks[i] = per[idx]
+		}
+		want := direct(subIsos)
+		got := UnionMasks(nbits, subMasks...)
+		if !maskEqual(got, want) {
+			t.Errorf("subset %v: union of per-iso masks != direct scan (union %d bits, direct %d bits)",
+				sub, got.Count(), want.Count())
+		}
+	}
+}
+
+// TestSelectEachValidates checks that the split scan rejects bad input
+// the same way SelectCellCorners does.
+func TestSelectEachValidates(t *testing.T) {
+	g, vals := sphereField(8)
+	if _, err := SelectCellCornersEach(g, vals[:10], []float64{1}); err == nil {
+		t.Error("short values accepted")
+	}
+	if _, err := SelectCellCornersEach(g, vals, nil); err == nil {
+		t.Error("empty isovalues accepted")
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"vizndp/internal/arraycache"
+	"vizndp/internal/bitset"
+	"vizndp/internal/contour"
+	"vizndp/internal/telemetry"
+)
+
+// Scan-sharing metrics (default registry):
+//
+//	core.scan.requests  counter — pre-filter fetches admitted to the handler
+//	core.scan.passes    counter — single-isovalue scan passes actually run
+//	core.scan.batches   counter — coalesced batches executed
+//	core.scan.coalesced counter — requests that rode another request's scan
+//
+// Uncoalesced, passes == sum(len(isovalues)) over requests; coalescing
+// pays off exactly when passes/requests drops below one — the crowd
+// experiment's gate.
+var (
+	mScanRequests = telemetry.Default().Counter("core.scan.requests")
+	mScanPasses   = telemetry.Default().Counter("core.scan.passes")
+	mScanBatches  = telemetry.Default().Counter("core.scan.batches")
+	mScanShared   = telemetry.Default().Counter("core.scan.coalesced")
+)
+
+// DefaultCoalesceWindow is how long a batch leader lingers after its
+// storage read before closing the batch to new members. The scan for a
+// production-scale array takes milliseconds, so a sub-millisecond window
+// adds little latency while catching bursts of concurrent arrivals.
+const DefaultCoalesceWindow = 500 * time.Microsecond
+
+// batchKey names the work a batch shares: one array at one file version.
+// Requests with different isovalues or encodings share a key — splitting
+// per-caller payloads out of the one scan is the whole point.
+type batchKey struct {
+	path    string
+	array   string
+	version arraycache.Version
+}
+
+// scanMember is one request riding a batch. The leader fills payload,
+// stats, and err before closing the batch's done channel; the member's
+// own goroutine reads them only after that close.
+type scanMember struct {
+	isovalues []float64
+	enc       Encoding
+	payload   *Payload
+	stats     *PreFilterStats
+	err       error
+}
+
+// scanBatch collects the members sharing one scan.
+type scanBatch struct {
+	done    chan struct{}
+	members []*scanMember
+}
+
+// scanShare coalesces concurrent pre-filter requests for the same array
+// into shared multi-isovalue scans and fronts them with the payload
+// cache. window < 0 disables batching (cache-only mode).
+type scanShare struct {
+	window   time.Duration
+	payloads *payloadCache
+
+	mu      sync.Mutex
+	batches map[batchKey]*scanBatch
+}
+
+// fetchShared is handleFetch's hot path when coalescing or the payload
+// cache is enabled: payload-cache lookup, then join-or-lead a shared
+// scan. Every payload it returns is bit-identical to what the
+// uncoalesced path would produce for the same request, because the
+// per-isovalue selection masks union exactly (see contour.SelectCellCornersEach)
+// and EncodeSelection is deterministic given mask and values.
+func (s *Server) fetchShared(ctx context.Context, path, array string, isovalues []float64, enc Encoding) (*Payload, *PreFilterStats, time.Duration, error) {
+	if len(isovalues) == 0 {
+		return nil, nil, 0, fmt.Errorf("core: pre-filter has no isovalues")
+	}
+	sh := s.scans
+	ver, err := s.fileVersion(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	ev := telemetry.EventFromContext(ctx)
+	pk := payloadKey{path: path, array: array, version: ver, isos: isoKey(isovalues), enc: enc}
+	if e, ok := sh.payloads.get(pk); ok {
+		ev.SetAttr("payloadcache", "hit")
+		// An honest breakdown for a cached payload: no storage read, no
+		// scan. The stats' structural fields (points, bytes) still apply.
+		st := e.stats
+		st.FilterTime = 0
+		return e.payload, &st, 0, nil
+	}
+	if sh.payloads != nil {
+		ev.SetAttr("payloadcache", "miss")
+	}
+
+	if sh.window < 0 {
+		// Cache-only mode: run the standalone pipeline and retain the
+		// result for repeats.
+		g, field, readTime, err := s.readArrayTimed(ctx, path, array)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, 0, err
+		}
+		payload, stats, err := s.runPreFilter(ctx, g, field, array, isovalues, enc)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		sh.payloads.put(pk, payload, stats)
+		return payload, stats, readTime, nil
+	}
+
+	m := &scanMember{isovalues: isovalues, enc: enc}
+	bk := batchKey{path: path, array: array, version: ver}
+	sh.mu.Lock()
+	if b, ok := sh.batches[bk]; ok {
+		b.members = append(b.members, m)
+		sh.mu.Unlock()
+		mScanShared.Inc()
+		ev.SetAttr("coalesced-scan", "follower")
+		select {
+		case <-b.done:
+		case <-ctx.Done():
+			// Abandon the batch; the leader still computes this member's
+			// payload but nobody reads it.
+			return nil, nil, 0, ctx.Err()
+		}
+		if m.err != nil {
+			return nil, nil, 0, m.err
+		}
+		// A follower performed no storage read of its own.
+		return m.payload, m.stats, 0, nil
+	}
+	b := &scanBatch{done: make(chan struct{}), members: []*scanMember{m}}
+	sh.batches[bk] = b
+	sh.mu.Unlock()
+	ev.SetAttr("coalesced-scan", "leader")
+	readTime := s.runBatch(ctx, bk, b)
+	if m.err != nil {
+		return nil, nil, 0, m.err
+	}
+	return m.payload, m.stats, readTime, nil
+}
+
+// runBatch executes one shared scan as the batch leader: load the array,
+// linger for the batch window so concurrent arrivals can pile on, close
+// the batch, scan once per unique isovalue, and split per-member
+// payloads out of the shared masks. Returns the leader's storage read
+// time.
+func (s *Server) runBatch(ctx context.Context, bk batchKey, b *scanBatch) time.Duration {
+	sh := s.scans
+	// Followers joined this batch, so its fate must not hang on the
+	// leader's caller: detach from the leader's own cancellation and run
+	// the batch to completion.
+	lctx := context.WithoutCancel(ctx)
+	defer close(b.done)
+
+	g, field, readTime, err := s.readArrayTimed(lctx, bk.path, bk.array)
+	if sh.window > 0 {
+		time.Sleep(sh.window)
+	}
+	sh.mu.Lock()
+	delete(sh.batches, bk)
+	members := b.members
+	sh.mu.Unlock()
+	// From here the member set is frozen; new arrivals lead a new batch.
+
+	if err != nil {
+		for _, m := range members {
+			m.err = err
+		}
+		return 0
+	}
+	mScanBatches.Inc()
+
+	_, span := telemetry.StartSpan(lctx, "prefilter.shared")
+	defer span.End()
+	scanStart := time.Now()
+	// One scan pass per unique isovalue across the batch, deduplicated by
+	// exact bit pattern and kept in first-seen order.
+	uniq := make([]float64, 0, 8)
+	slot := make(map[uint64]int, 8)
+	for _, m := range members {
+		for _, v := range m.isovalues {
+			bits := math.Float64bits(v)
+			if _, ok := slot[bits]; !ok {
+				slot[bits] = len(uniq)
+				uniq = append(uniq, v)
+			}
+		}
+	}
+	masks, err := contour.SelectCellCornersEach(g, field.Values, uniq)
+	if err != nil {
+		err = fmt.Errorf("core: pre-filter %q: %w", field.Name, err)
+		span.SetAttr("error", err.Error())
+		for _, m := range members {
+			m.err = err
+		}
+		return readTime
+	}
+	scanTime := time.Since(scanStart)
+	mScanPasses.Add(int64(len(uniq)))
+	span.SetAttr("array", bk.array)
+	span.SetAttr("members", len(members))
+	span.SetAttr("passes", len(uniq))
+
+	for _, m := range members {
+		encStart := time.Now()
+		sub := make([]*bitset.Bitset, len(m.isovalues))
+		for i, v := range m.isovalues {
+			sub[i] = masks[slot[math.Float64bits(v)]]
+		}
+		mask := contour.UnionMasks(g.NumPoints(), sub...)
+		payload, err := EncodeSelection(mask, field.Values, m.enc)
+		if err != nil {
+			m.err = err
+			continue
+		}
+		m.payload = payload
+		// FilterTime charges each member the shared scan plus its own
+		// union + encode — what its request actually waited on, not what
+		// a dedicated scan would have cost.
+		m.stats = &PreFilterStats{
+			NumPoints:      field.Len(),
+			SelectedPoints: payload.Count,
+			RawBytes:       int64(4 * field.Len()),
+			PayloadBytes:   int64(payload.WireSize()),
+			FilterTime:     scanTime + time.Since(encStart),
+		}
+		sh.payloads.put(payloadKey{
+			path: bk.path, array: bk.array, version: bk.version,
+			isos: isoKey(m.isovalues), enc: m.enc,
+		}, payload, m.stats)
+	}
+	return readTime
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"vizndp/internal/compress"
+	"vizndp/internal/grid"
+	"vizndp/internal/vtkio"
+)
+
+// startNDPOpts is startNDP with server options, for the coalescing and
+// payload-cache paths.
+func startNDPOpts(t *testing.T, opts ...ServerOption) (*Client, *grid.Dataset) {
+	t.Helper()
+	g, f := sphereField(24)
+	ds := grid.NewDataset(g)
+	ds.MustAddField(f)
+
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "run"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "run", "ts0.vnd")
+	if err := vtkio.WriteFile(path, ds, vtkio.WriteOptions{Codec: compress.None}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(os.DirFS(dir), opts...)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	client, err := Dial(ln.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+	})
+	return client, ds
+}
+
+// localPayload computes the uncoalesced ground-truth payload bytes.
+func localPayload(t *testing.T, ds *grid.Dataset, isos []float64, enc Encoding) []byte {
+	t.Helper()
+	pre := &PreFilter{Isovalues: isos, Encoding: enc}
+	p, _, err := pre.Run(ds.Grid, ds.Field("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Data
+}
+
+func TestCoalesceBatchSharesScan(t *testing.T) {
+	// A long batch window makes the test deterministic: whichever request
+	// arrives first leads and lingers; the other must join its batch.
+	client, ds := startNDPOpts(t,
+		WithCoalesce(200*time.Millisecond),
+		WithCacheBytes(16<<20),
+		WithPayloadCacheBytes(16<<20))
+
+	requests0 := mScanRequests.Value()
+	passes0 := mScanPasses.Value()
+	batches0 := mScanBatches.Value()
+	shared0 := mScanShared.Value()
+
+	isosA, isosB := []float64{7}, []float64{9}
+	var wg sync.WaitGroup
+	var payloadA, payloadB *Payload
+	var errA, errB error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		payloadA, _, errA = client.FetchFiltered("run/ts0.vnd", "d", isosA, EncAuto)
+	}()
+	go func() {
+		defer wg.Done()
+		payloadB, _, errB = client.FetchFiltered("run/ts0.vnd", "d", isosB, EncAuto)
+	}()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("fetch errors: %v, %v", errA, errB)
+	}
+
+	if d := mScanRequests.Value() - requests0; d != 2 {
+		t.Errorf("requests delta = %d, want 2", d)
+	}
+	if d := mScanBatches.Value() - batches0; d != 1 {
+		t.Errorf("batches delta = %d, want 1 (requests did not coalesce)", d)
+	}
+	if d := mScanShared.Value() - shared0; d != 1 {
+		t.Errorf("coalesced delta = %d, want 1", d)
+	}
+	if d := mScanPasses.Value() - passes0; d != 2 {
+		t.Errorf("passes delta = %d, want 2 (one per unique isovalue)", d)
+	}
+
+	// The split payloads must match dedicated uncoalesced runs bit for bit.
+	if !bytes.Equal(payloadA.Data, localPayload(t, ds, isosA, EncAuto)) {
+		t.Error("coalesced payload for iso 7 differs from dedicated run")
+	}
+	if !bytes.Equal(payloadB.Data, localPayload(t, ds, isosB, EncAuto)) {
+		t.Error("coalesced payload for iso 9 differs from dedicated run")
+	}
+
+	// Identical repeats are now payload-cache hits: no further scan passes,
+	// same bytes.
+	hits0 := mPayloadHits.Value()
+	passes1 := mScanPasses.Value()
+	rep, _, err := client.FetchFiltered("run/ts0.vnd", "d", isosA, EncAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rep.Data, payloadA.Data) {
+		t.Error("cached payload differs from original")
+	}
+	if d := mPayloadHits.Value() - hits0; d != 1 {
+		t.Errorf("payload cache hits delta = %d, want 1", d)
+	}
+	if d := mScanPasses.Value() - passes1; d != 0 {
+		t.Errorf("cache hit ran %d scan passes", d)
+	}
+}
+
+func TestCoalesceConcurrentBitIdentical(t *testing.T) {
+	// The -race bit-identity gate: many concurrent callers, same array,
+	// different isovalues, no payload cache so every round really scans.
+	client, ds := startNDPOpts(t, WithCoalesce(time.Millisecond), WithCacheBytes(16<<20))
+
+	isos := [][]float64{{6}, {7}, {8}, {9}, {7, 9}}
+	want := make([][]byte, len(isos))
+	for i := range isos {
+		want[i] = localPayload(t, ds, isos[i], EncAuto)
+	}
+
+	const workers = 8
+	const rounds = 5
+	errs := make(chan error, workers*rounds)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % len(isos)
+				p, _, err := client.FetchFiltered("run/ts0.vnd", "d", isos[i], EncAuto)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(p.Data, want[i]) {
+					t.Errorf("worker %d round %d: payload differs from dedicated run", w, r)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalesceEmptyIsovaluesRejected(t *testing.T) {
+	client, _ := startNDPOpts(t, WithCoalesce(time.Millisecond))
+	if _, _, err := client.FetchFiltered("run/ts0.vnd", "d", nil, EncAuto); err == nil {
+		t.Error("empty isovalues accepted on the coalesced path")
+	}
+}
+
+func TestCoalesceMissingPathRejected(t *testing.T) {
+	client, _ := startNDPOpts(t, WithCoalesce(time.Millisecond), WithPayloadCacheBytes(1<<20))
+	if _, _, err := client.FetchFiltered("run/ghost.vnd", "d", []float64{1}, EncAuto); err == nil {
+		t.Error("missing path accepted on the coalesced path")
+	}
+}
+
+func TestPayloadCacheOnlyMode(t *testing.T) {
+	// Payload cache without coalescing: the first fetch scans, the repeat
+	// is served from cache, byte-identical.
+	client, ds := startNDPOpts(t, WithPayloadCacheBytes(16<<20))
+	isos := []float64{7}
+	p1, _, err := client.FetchFiltered("run/ts0.vnd", "d", isos, EncAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes0 := mScanPasses.Value()
+	p2, _, err := client.FetchFiltered("run/ts0.vnd", "d", isos, EncAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mScanPasses.Value() - passes0; d != 0 {
+		t.Errorf("repeat fetch ran %d scan passes", d)
+	}
+	if !bytes.Equal(p1.Data, p2.Data) {
+		t.Error("cached payload differs")
+	}
+	if !bytes.Equal(p1.Data, localPayload(t, ds, isos, EncAuto)) {
+		t.Error("payload differs from dedicated run")
+	}
+}
+
+func TestPayloadCacheLRUEviction(t *testing.T) {
+	mk := func(n int) *Payload { return &Payload{Data: make([]byte, n)} }
+	key := func(iso string) payloadKey { return payloadKey{path: "p", array: "d", isos: iso} }
+	st := &PreFilterStats{}
+
+	c := newPayloadCache(1000)
+	c.put(key("a"), mk(400), st)
+	c.put(key("b"), mk(400), st)
+	if c.len() != 2 || c.residentBytes() != 800 {
+		t.Fatalf("len=%d resident=%d, want 2/800", c.len(), c.residentBytes())
+	}
+	// Touch "a" so "b" is the LRU victim when "c" displaces 400 bytes.
+	if _, ok := c.get(key("a")); !ok {
+		t.Fatal("entry a missing")
+	}
+	c.put(key("c"), mk(400), st)
+	if _, ok := c.get(key("b")); ok {
+		t.Error("LRU victim b still resident")
+	}
+	if _, ok := c.get(key("a")); !ok {
+		t.Error("recently used a evicted")
+	}
+	if c.len() != 2 || c.residentBytes() != 800 {
+		t.Errorf("len=%d resident=%d after eviction, want 2/800", c.len(), c.residentBytes())
+	}
+
+	// An entry over the whole budget is never retained.
+	c.put(key("huge"), mk(2000), st)
+	if _, ok := c.get(key("huge")); ok {
+		t.Error("oversized entry retained")
+	}
+
+	// Re-putting an existing key replaces in place.
+	c.put(key("a"), mk(100), st)
+	if c.residentBytes() != 500 {
+		t.Errorf("resident=%d after replace, want 500", c.residentBytes())
+	}
+
+	// A nil cache is inert.
+	var nilCache *payloadCache
+	nilCache.put(key("x"), mk(10), st)
+	if _, ok := nilCache.get(key("x")); ok {
+		t.Error("nil cache returned a hit")
+	}
+	if nilCache.len() != 0 || nilCache.residentBytes() != 0 {
+		t.Error("nil cache reports contents")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"vizndp/internal/bitset"
+)
+
+// fuzzSeeds returns representative payloads for the decode fuzz targets:
+// real encodes of both wire formats (sparse and clustered selections)
+// plus the two varint-overflow repros, which are also checked in under
+// testdata/fuzz so the regression outlives this function.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	seeds := [][]byte{hostileIndexValueFuzz(), hostileBlockBitmapFuzz()}
+	n := blockBits + 300
+	values := make([]float32, n)
+	for i := range values {
+		values[i] = float32(i) * 0.125
+	}
+	sparse := bitset.New(n)
+	for i := 0; i < n; i += 211 {
+		sparse.Set(i)
+	}
+	clustered := bitset.New(n)
+	for i := 64; i < 256; i++ {
+		clustered.Set(i)
+	}
+	for _, mask := range []*bitset.Bitset{sparse, clustered} {
+		for _, enc := range []Encoding{EncIndexValue, EncBlockBitmap} {
+			p, err := EncodeSelection(mask, values, enc)
+			if err != nil {
+				f.Fatal(err)
+			}
+			seeds = append(seeds, p.Data)
+		}
+	}
+	return seeds
+}
+
+// The hostile repros, duplicated from payload_decode_test.go's helpers
+// because f.Helper-less fuzz seeds must not depend on *testing.T.
+func hostileIndexValueFuzz() []byte {
+	return []byte{payloadMagic, byte(EncIndexValue), 0x10, 0x02, 0x01,
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01,
+		0, 0, 0, 0, 0, 0, 0, 0}
+}
+
+func hostileBlockBitmapFuzz() []byte {
+	data := []byte{payloadMagic, byte(EncBlockBitmap), 0x10, 0x01,
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	bitmap := make([]byte, 512)
+	bitmap[0] = 0x01
+	data = append(data, bitmap...)
+	return append(data, make([]byte, 4)...)
+}
+
+// FuzzDecodePayload checks the header parser never panics and that every
+// accepted header satisfies its own invariants.
+func FuzzDecodePayload(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePayload(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadPayload) {
+				t.Fatalf("non-payload error: %v", err)
+			}
+			return
+		}
+		if p.Count < 0 || p.NumPoints < 0 || p.Count > p.NumPoints {
+			t.Fatalf("accepted header with count %d of %d points", p.Count, p.NumPoints)
+		}
+		if p.Encoding != EncIndexValue && p.Encoding != EncBlockBitmap {
+			t.Fatalf("accepted unknown encoding %d", p.Encoding)
+		}
+	})
+}
+
+// FuzzReconstructInto drives hostile bytes through the full decode path:
+// whatever DecodePayload accepts, Reconstruct must either reject with
+// ErrBadPayload or produce a full-length array — never panic, the
+// original decodeIndexValue failure mode.
+func FuzzReconstructInto(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePayload(data)
+		if err != nil {
+			return
+		}
+		// The header guards bound count against the body, but NumPoints is
+		// only bounded by MaxInt32; skip absurd reconstruction sizes so the
+		// fuzzer probes decode logic, not the allocator.
+		if p.NumPoints > 1<<20 {
+			return
+		}
+		vals, err := p.Reconstruct()
+		if err != nil {
+			if !errors.Is(err, ErrBadPayload) {
+				t.Fatalf("non-payload error: %v", err)
+			}
+			return
+		}
+		if len(vals) != p.NumPoints {
+			t.Fatalf("reconstructed %d values for %d points", len(vals), p.NumPoints)
+		}
+		nonNaN := 0
+		for _, v := range vals {
+			if !math.IsNaN(float64(v)) {
+				nonNaN++
+			}
+		}
+		if nonNaN > p.Count {
+			t.Fatalf("%d non-NaN values exceed declared count %d", nonNaN, p.Count)
+		}
+	})
+}

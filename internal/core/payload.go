@@ -230,6 +230,19 @@ func DecodePayload(data []byte) (*Payload, error) {
 	if count > numPoints || numPoints > math.MaxInt32 {
 		return nil, fmt.Errorf("%w: count %d of %d points", ErrBadPayload, count, numPoints)
 	}
+	// Every selected point carries four packed value bytes (plus at least
+	// one delta byte under index/value), so a header whose count cannot
+	// fit in the remaining body is corrupt. Rejecting it here keeps a
+	// hostile count from driving large allocations in ReconstructInto.
+	body := rest[k:]
+	minPer := uint64(4)
+	if enc == EncIndexValue {
+		minPer = 5
+	}
+	if uint64(len(body))/minPer < count {
+		return nil, fmt.Errorf("%w: %d body bytes for %d selected points",
+			ErrBadPayload, len(body), count)
+	}
 	return &Payload{
 		Encoding:  enc,
 		NumPoints: int(numPoints),
@@ -288,6 +301,11 @@ func (p *Payload) ReconstructInto(dst []float32) error {
 }
 
 func decodeIndexValue(body []byte, dst []float32, count int) error {
+	// Each selected point costs at least one delta byte plus four value
+	// bytes; reject an oversized count before allocating the index table.
+	if count < 0 || count > len(body)/5 {
+		return fmt.Errorf("%w: %d body bytes for %d selected points", ErrBadPayload, len(body), count)
+	}
 	idxs := make([]int, count)
 	pos := -1
 	off := 0
@@ -296,11 +314,16 @@ func decodeIndexValue(body []byte, dst []float32, count int) error {
 		if k <= 0 || d == 0 {
 			return fmt.Errorf("%w: bad index delta at %d", ErrBadPayload, i)
 		}
+		// Bound the delta against the remaining index range BEFORE
+		// accumulating: a hostile varint near 2^64 would wrap pos
+		// negative, slip past an upper-bound check, and fault dst[idx]
+		// with a negative index. pos never exceeds len(dst)-1, so the
+		// subtraction cannot go negative.
+		if d > uint64(len(dst)-1-pos) {
+			return fmt.Errorf("%w: index delta %d beyond %d points at %d", ErrBadPayload, d, len(dst), i)
+		}
 		off += k
 		pos += int(d)
-		if pos >= len(dst) {
-			return fmt.Errorf("%w: index %d beyond %d points", ErrBadPayload, pos, len(dst))
-		}
 		idxs[i] = pos
 	}
 	if len(body)-off != count*4 {
@@ -314,6 +337,11 @@ func decodeIndexValue(body []byte, dst []float32, count int) error {
 }
 
 func decodeBlockBitmap(body []byte, dst []float32, count int) error {
+	// Each selected point packs four value bytes; a count the body cannot
+	// hold is corrupt regardless of the block structure.
+	if count < 0 || count > len(body)/4 {
+		return fmt.Errorf("%w: %d body bytes for %d selected points", ErrBadPayload, len(body), count)
+	}
 	n := len(dst)
 	numBlocks := (n + blockBits - 1) / blockBits
 	off := 0
@@ -324,11 +352,16 @@ func decodeBlockBitmap(body []byte, dst []float32, count int) error {
 		if k <= 0 || d == 0 {
 			return fmt.Errorf("%w: bad block delta", ErrBadPayload)
 		}
+		// Bound the delta against the remaining block range BEFORE
+		// accumulating, for the same reason as decodeIndexValue: a huge
+		// varint would wrap block negative and fault dst with a negative
+		// index. block never exceeds numBlocks-1, so the subtraction
+		// cannot go negative.
+		if d > uint64(numBlocks-1-block) {
+			return fmt.Errorf("%w: block delta %d beyond %d blocks", ErrBadPayload, d, numBlocks)
+		}
 		off += k
 		block += int(d)
-		if block >= numBlocks {
-			return fmt.Errorf("%w: block %d of %d", ErrBadPayload, block, numBlocks)
-		}
 		lo := block * blockBits
 		hi := lo + blockBits
 		if hi > n {

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"vizndp/internal/bitset"
+)
+
+// hostileIndexValue builds the varint-overflow repro: an index/value
+// payload whose second index delta is 2^64-1. Accumulated unchecked it
+// wraps pos to -1, slips past any upper-bound check, and faults
+// dst[-1] — the decodeIndexValue panic this PR fixes.
+func hostileIndexValue() []byte {
+	data := []byte{payloadMagic, byte(EncIndexValue)}
+	data = binary.AppendUvarint(data, 16) // numPoints
+	data = binary.AppendUvarint(data, 2)  // count
+	data = binary.AppendUvarint(data, 1)  // first delta: index 0
+	data = binary.AppendUvarint(data, ^uint64(0))
+	return append(data, make([]byte, 8)...) // two packed values
+}
+
+// hostileBlockBitmap is the same shape against decodeBlockBitmap: a
+// block delta of 2^64-1 wraps block to -2, putting the block's origin at
+// point -8192 and faulting the first bitmap hit.
+func hostileBlockBitmap() []byte {
+	data := []byte{payloadMagic, byte(EncBlockBitmap)}
+	data = binary.AppendUvarint(data, 16) // numPoints: one block
+	data = binary.AppendUvarint(data, 1)  // count
+	data = binary.AppendUvarint(data, ^uint64(0))
+	bitmap := make([]byte, 512) // full bitmap for the phantom block
+	bitmap[0] = 0x01
+	data = append(data, bitmap...)
+	return append(data, make([]byte, 4)...) // one packed value
+}
+
+func TestDecodeIndexValueDeltaOverflow(t *testing.T) {
+	p, err := DecodePayload(hostileIndexValue())
+	if err != nil {
+		t.Fatalf("header rejected: %v", err)
+	}
+	if _, err := p.Reconstruct(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("err = %v, want ErrBadPayload", err)
+	}
+}
+
+func TestDecodeBlockBitmapDeltaOverflow(t *testing.T) {
+	p, err := DecodePayload(hostileBlockBitmap())
+	if err != nil {
+		t.Fatalf("header rejected: %v", err)
+	}
+	if _, err := p.Reconstruct(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("err = %v, want ErrBadPayload", err)
+	}
+}
+
+func TestDecodeHeaderCountBeyondBody(t *testing.T) {
+	// A header claiming more selected points than the body can possibly
+	// hold must be rejected at DecodePayload, before any allocation.
+	for _, enc := range []Encoding{EncIndexValue, EncBlockBitmap} {
+		data := []byte{payloadMagic, byte(enc)}
+		data = binary.AppendUvarint(data, 1<<30) // numPoints
+		data = binary.AppendUvarint(data, 1<<29) // count
+		data = append(data, make([]byte, 64)...)
+		if _, err := DecodePayload(data); !errors.Is(err, ErrBadPayload) {
+			t.Errorf("%v: err = %v, want ErrBadPayload", enc, err)
+		}
+	}
+}
+
+// encodeBlockPayload encodes a small real selection under the block
+// bitmap wire format, as raw material for corrupting below.
+func encodeBlockPayload(t *testing.T, n int, selected ...int) *Payload {
+	t.Helper()
+	mask := bitset.New(n)
+	values := make([]float32, n)
+	for _, i := range selected {
+		mask.Set(i)
+		values[i] = float32(i) + 0.5
+	}
+	p, err := EncodeSelection(mask, values, EncBlockBitmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDecodeBlockBitmapErrorPaths(t *testing.T) {
+	good := encodeBlockPayload(t, 3*blockBits, 1, 70, blockBits+5, 2*blockBits+9)
+	headerLen := len(good.Data) - bodyLen(t, good)
+
+	reconstruct := func(data []byte) error {
+		p, err := DecodePayload(data)
+		if err != nil {
+			return err
+		}
+		_, err = p.Reconstruct()
+		return err
+	}
+
+	t.Run("zero-block-delta", func(t *testing.T) {
+		data := bytes.Clone(good.Data)
+		data[headerLen] = 0 // first block delta becomes the reserved zero
+		if err := reconstruct(data); !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("err = %v, want ErrBadPayload", err)
+		}
+	})
+	t.Run("truncated-bitmap", func(t *testing.T) {
+		// Cut inside the first block's presence bitmap.
+		data := bytes.Clone(good.Data[:headerLen+1+100])
+		if err := reconstruct(data); !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("err = %v, want ErrBadPayload", err)
+		}
+	})
+	t.Run("truncated-values", func(t *testing.T) {
+		// Cut inside the last block's packed values.
+		data := bytes.Clone(good.Data[:len(good.Data)-2])
+		if err := reconstruct(data); !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("err = %v, want ErrBadPayload", err)
+		}
+	})
+	t.Run("seen-count-mismatch", func(t *testing.T) {
+		// Set an extra presence bit in the first block's bitmap; the
+		// trailing length checks still pass block by block until the
+		// decoded total disagrees with the header count.
+		data := bytes.Clone(good.Data)
+		data[headerLen+1] |= 1 << 5 // bit for point 5, not selected
+		// Grow the body by one phantom value so the per-block value reads
+		// stay in range; the final seen != count check must still fire.
+		data = append(data, make([]byte, 4)...)
+		if err := reconstruct(data); !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("err = %v, want ErrBadPayload", err)
+		}
+	})
+}
+
+// bodyLen returns the payload's body size (everything after the header).
+func bodyLen(t *testing.T, p *Payload) int {
+	t.Helper()
+	rest := p.Data[2:]
+	_, k1 := binary.Uvarint(rest)
+	_, k2 := binary.Uvarint(rest[k1:])
+	if k1 <= 0 || k2 <= 0 {
+		t.Fatal("bad header varints")
+	}
+	return len(rest) - k1 - k2
+}
+
+func TestDecodeRoundTripBothEncodings(t *testing.T) {
+	// The guards must not reject anything the encoders produce.
+	n := 2*blockBits + 137
+	mask := bitset.New(n)
+	values := make([]float32, n)
+	for i := 0; i < n; i += 97 {
+		mask.Set(i)
+		values[i] = float32(i) * 0.25
+	}
+	for _, enc := range []Encoding{EncIndexValue, EncBlockBitmap} {
+		p, err := EncodeSelection(mask, values, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodePayload(p.Data)
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		vals, err := dec.Reconstruct()
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		mask.ForEach(func(i int) {
+			if vals[i] != values[i] {
+				t.Fatalf("%v: value %d mismatch", enc, i)
+			}
+		})
+	}
+}

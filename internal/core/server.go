@@ -47,10 +47,13 @@ const (
 // on the storage node is an s3fs mount colocated with the object store)
 // and a pre-filter. Clients drive it over msgpack-rpc.
 type Server struct {
-	fsys    fs.FS
-	rpc     *rpc.Server
-	cache   *arraycache.Cache
-	rpcOpts []rpc.ServerOption
+	fsys         fs.FS
+	rpc          *rpc.Server
+	cache        *arraycache.Cache
+	scans        *scanShare
+	coalesceWin  time.Duration
+	payloadBytes int64
+	rpcOpts      []rpc.ServerOption
 }
 
 // ServerOption customizes a Server.
@@ -62,6 +65,29 @@ type ServerOption func(*Server)
 // maxBytes <= 0 disables the cache (the default).
 func WithCacheBytes(maxBytes int64) ServerOption {
 	return func(s *Server) { s.cache = arraycache.New(maxBytes) }
+}
+
+// WithCoalesce batches concurrent pre-filter fetches of the same array
+// into one shared multi-isovalue scan: the first request leads, loads
+// the array, lingers for window while concurrent arrivals pile on, then
+// scans once per unique isovalue and splits a bit-identical payload out
+// for each member. window <= 0 uses DefaultCoalesceWindow.
+func WithCoalesce(window time.Duration) ServerOption {
+	return func(s *Server) {
+		if window <= 0 {
+			window = DefaultCoalesceWindow
+		}
+		s.coalesceWin = window
+	}
+}
+
+// WithPayloadCacheBytes bounds a storage-side cache of encoded pre-filter
+// payloads to maxBytes: an identical repeat request — same array version,
+// isovalues, and encoding — skips the read AND the scan. Composes with
+// WithCoalesce; alone it enables the cache without batching.
+// maxBytes <= 0 disables the cache (the default).
+func WithPayloadCacheBytes(maxBytes int64) ServerOption {
+	return func(s *Server) { s.payloadBytes = maxBytes }
 }
 
 // WithMaxInFlight bounds how many requests execute concurrently
@@ -83,6 +109,17 @@ func NewServer(fsys fs.FS, opts ...ServerOption) *Server {
 	s := &Server{fsys: fsys}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.coalesceWin > 0 || s.payloadBytes > 0 {
+		window := s.coalesceWin
+		if window <= 0 {
+			window = -1 // payload cache without batching
+		}
+		s.scans = &scanShare{
+			window:   window,
+			payloads: newPayloadCache(s.payloadBytes),
+			batches:  make(map[batchKey]*scanBatch),
+		}
 	}
 	s.rpc = rpc.NewServer(s.rpcOpts...)
 	s.rpc.Register(MethodList, s.handleList)
@@ -374,33 +411,39 @@ func (s *Server) handleFetch(ctx context.Context, args []any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	mScanRequests.Inc()
 
-	g, field, readTime, err := s.readArrayTimed(ctx, path, array)
-	if err != nil {
-		mFetchErrors.Inc()
-		return nil, err
+	var (
+		payload  *Payload
+		stats    *PreFilterStats
+		readTime time.Duration
+	)
+	if s.scans != nil {
+		payload, stats, readTime, err = s.fetchShared(ctx, path, array, isovalues, enc)
+		if err != nil {
+			mFetchErrors.Inc()
+			return nil, err
+		}
+	} else {
+		var g *grid.Uniform
+		var field *grid.Field
+		g, field, readTime, err = s.readArrayTimed(ctx, path, array)
+		if err != nil {
+			mFetchErrors.Inc()
+			return nil, err
+		}
+		// Observe cancellation between the pipeline stages: the read may
+		// have taken the whole remaining deadline, and the pre-filter scan
+		// is the expensive half.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		payload, stats, err = s.runPreFilter(ctx, g, field, array, isovalues, enc)
+		if err != nil {
+			mFetchErrors.Inc()
+			return nil, err
+		}
 	}
-	// Observe cancellation between the pipeline stages: the read may
-	// have taken the whole remaining deadline, and the pre-filter scan
-	// is the expensive half.
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	_, fspan := telemetry.StartSpan(ctx, "prefilter")
-	pre := &PreFilter{Isovalues: isovalues, Encoding: enc}
-	payload, stats, err := pre.Run(g, field)
-	if err != nil {
-		fspan.SetAttr("error", err.Error())
-		fspan.End()
-		mFetchErrors.Inc()
-		return nil, err
-	}
-	fspan.SetAttr("array", array)
-	fspan.SetAttr("selected", stats.SelectedPoints)
-	fspan.SetAttr("payloadBytes", stats.PayloadBytes)
-	fspan.SetAttr("encoding", payload.Encoding.String())
-	fspan.End()
 	ev := telemetry.EventFromContext(ctx)
 	ev.SetAttr("selected", stats.SelectedPoints)
 	ev.SetAttr("payloadBytes", stats.PayloadBytes)
@@ -412,6 +455,25 @@ func (s *Server) handleFetch(ctx context.Context, args []any) (any, error) {
 		"rawbytes": stats.RawBytes,
 		"selected": int64(stats.SelectedPoints),
 	}, nil
+}
+
+// runPreFilter runs one dedicated (uncoalesced) contour pre-filter under
+// a "prefilter" span and counts its scan passes.
+func (s *Server) runPreFilter(ctx context.Context, g *grid.Uniform, field *grid.Field, array string, isovalues []float64, enc Encoding) (*Payload, *PreFilterStats, error) {
+	_, fspan := telemetry.StartSpan(ctx, "prefilter")
+	defer fspan.End()
+	pre := &PreFilter{Isovalues: isovalues, Encoding: enc}
+	payload, stats, err := pre.Run(g, field)
+	if err != nil {
+		fspan.SetAttr("error", err.Error())
+		return nil, nil, err
+	}
+	mScanPasses.Add(int64(len(isovalues)))
+	fspan.SetAttr("array", array)
+	fspan.SetAttr("selected", stats.SelectedPoints)
+	fspan.SetAttr("payloadBytes", stats.PayloadBytes)
+	fspan.SetAttr("encoding", payload.Encoding.String())
+	return payload, stats, nil
 }
 
 // handleFetchRange runs the split threshold filter's storage half: read

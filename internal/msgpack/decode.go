@@ -31,7 +31,10 @@ func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
 func (d *Decoder) Pos() int { return d.pos }
 
 func (d *Decoder) need(n int) error {
-	if d.Remaining() < n {
+	// n < 0 guards the 32-bit-int platforms where a str32/bin32/ext32
+	// length near 2^32 wraps negative after the int conversion; without
+	// it the slice expression in take would fault instead of erroring.
+	if n < 0 || d.Remaining() < n {
 		return ErrTruncated
 	}
 	return nil
@@ -446,9 +449,9 @@ func (d *Decoder) ReadAny() (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		if n > d.Remaining() {
+		if n < 0 || n > d.Remaining() {
 			// Each element needs at least one byte; reject absurd headers
-			// before allocating.
+			// (including 32-bit int wraps) before allocating.
 			return nil, ErrTruncated
 		}
 		out := make([]any, n)
@@ -463,7 +466,7 @@ func (d *Decoder) ReadAny() (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		if n > d.Remaining() {
+		if n < 0 || n > d.Remaining() {
 			return nil, ErrTruncated
 		}
 		out := make(map[string]any, n)

@@ -318,6 +318,26 @@ func TestHugeArrayHeaderRejected(t *testing.T) {
 	}
 }
 
+func TestMaxLengthHeadersRejected(t *testing.T) {
+	// 32-bit length headers at the top of their range: on a 32-bit int
+	// these wrap negative when converted, the same overflow shape as the
+	// payload varint bug, so the length guards must reject them before
+	// any slice arithmetic — never panic or allocate.
+	cases := map[string][]byte{
+		"str32":   {fmtStr32, 0xff, 0xff, 0xff, 0xff},
+		"bin32":   {fmtBin32, 0xff, 0xff, 0xff, 0xff},
+		"ext32":   {fmtExt32, 0xff, 0xff, 0xff, 0xff, 0x01},
+		"array32": {fmtArray32, 0xff, 0xff, 0xff, 0xff},
+		"map32":   {fmtMap32, 0xff, 0xff, 0xff, 0xff},
+	}
+	for name, data := range cases {
+		data = append(data, "short body"...)
+		if _, err := NewDecoder(data).ReadAny(); err == nil {
+			t.Errorf("%s with max length accepted", name)
+		}
+	}
+}
+
 func TestFuzzDecodeNoPanic(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for i := 0; i < 5000; i++ {
