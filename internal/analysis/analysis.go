@@ -1,9 +1,14 @@
 // Package analysis is a from-scratch, stdlib-only static-analysis
 // framework (go/parser + go/ast + go/types; no golang.org/x/tools) that
 // enforces the hand-maintained invariants the NDP fast path depends on:
-// span/lock discipline in the concurrent server and cache, bit-exact
-// float payload handling, honest error wrapping across layers, and
-// panic-free request serving. cmd/vizlint drives it over the module.
+// span/lock/channel discipline in the concurrent server and cache,
+// goroutine termination and context threading on the request path,
+// Closer lifecycle on connection hand-offs, bit-exact float payload
+// handling, honest error wrapping across layers, and panic-free request
+// serving. Lifecycle checks (spanend, closepath) share one obligation
+// engine (obligation.go): acquire, then discharge on every forward path
+// unless ownership escapes. cmd/vizlint drives the suite over the
+// module.
 //
 // Each check is an Analyzer: a named function over one type-checked
 // package that reports findings at file:line:col. A finding can be
@@ -66,11 +71,26 @@ const directiveName = "vizlint"
 func All() []*Analyzer {
 	return []*Analyzer{
 		LockHold,
+		BlockingLock,
 		SpanEnd,
+		ClosePath,
+		GoroLeak,
+		CtxFlow,
 		NoPanic,
 		FloatEq,
 		ErrWrap,
 	}
+}
+
+// AllNames returns the names of the full suite, for error messages and
+// usage text.
+func AllNames() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
 }
 
 // ByName resolves a comma-separated analyzer list against All. The
@@ -93,7 +113,8 @@ func ByName(names string) ([]*Analyzer, error) {
 		}
 		a, ok := index[name]
 		if !ok {
-			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+			return nil, fmt.Errorf("analysis: unknown analyzer %q (valid: %s)",
+				name, strings.Join(AllNames(), ", "))
 		}
 		out = append(out, a)
 	}
@@ -188,6 +209,9 @@ type directive struct {
 	line     int
 	analyzer string
 	reason   string
+	// used records whether the directive suppressed at least one
+	// finding this run; strict mode reports unused ones as stale.
+	used bool
 }
 
 // directivePrefix introduces an ignore directive inside a comment.
@@ -196,8 +220,8 @@ const directivePrefix = "vizlint:ignore"
 // parseDirectives extracts ignore directives from a file. Malformed
 // directives (missing analyzer or reason, unknown analyzer) are
 // reported as findings and do not suppress anything.
-func parseDirectives(fset *token.FileSet, file *ast.File, findings *[]Finding) []directive {
-	var out []directive
+func parseDirectives(fset *token.FileSet, file *ast.File, findings *[]Finding) []*directive {
+	var out []*directive
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -228,7 +252,7 @@ func parseDirectives(fset *token.FileSet, file *ast.File, findings *[]Finding) [
 				bad("ignore directive for %q needs a reason", name)
 				continue
 			}
-			out = append(out, directive{
+			out = append(out, &directive{
 				pos:      c.Pos(),
 				line:     pos.Line,
 				analyzer: name,
@@ -239,10 +263,10 @@ func parseDirectives(fset *token.FileSet, file *ast.File, findings *[]Finding) [
 	return out
 }
 
-// suppress filters findings covered by directives: a directive covers
-// its own line (trailing comment) and the following line (leading
-// comment).
-func suppress(findings []Finding, dirs map[string][]directive) []Finding {
+// suppress filters findings covered by directives, marking each
+// directive that fired: a directive covers its own line (trailing
+// comment) and the following line (leading comment).
+func suppress(findings []Finding, dirs map[string][]*directive) []Finding {
 	out := findings[:0]
 	for _, f := range findings {
 		covered := false
@@ -251,8 +275,8 @@ func suppress(findings []Finding, dirs map[string][]directive) []Finding {
 				continue
 			}
 			if d.line == f.Pos.Line || d.line == f.Pos.Line-1 {
+				d.used = true
 				covered = true
-				break
 			}
 		}
 		if !covered {
@@ -266,8 +290,23 @@ func suppress(findings []Finding, dirs map[string][]directive) []Finding {
 // directives, and returns surviving findings together with the
 // package's parse/type-check findings.
 func Analyze(pkg *Package, analyzers []*Analyzer) []Finding {
+	return analyze(pkg, analyzers, false)
+}
+
+// AnalyzeStrict is Analyze plus stale-suppression reporting: a
+// well-formed ignore directive that suppressed nothing — while its
+// analyzer actually ran — is itself a finding from the "vizlint"
+// pseudo-analyzer, so dead suppressions cannot linger and silently
+// cover a future regression. Run it with the full suite: under a
+// subset, directives for the analyzers that did not run are skipped,
+// not reported.
+func AnalyzeStrict(pkg *Package, analyzers []*Analyzer) []Finding {
+	return analyze(pkg, analyzers, true)
+}
+
+func analyze(pkg *Package, analyzers []*Analyzer, strict bool) []Finding {
 	findings := append([]Finding(nil), pkg.TypeErrors...)
-	dirs := make(map[string][]directive)
+	dirs := make(map[string][]*directive)
 	for _, f := range pkg.Files {
 		name := pkg.Fset.Position(f.Pos()).Filename
 		dirs[name] = append(dirs[name], parseDirectives(pkg.Fset, f, &findings)...)
@@ -287,15 +326,46 @@ func Analyze(pkg *Package, analyzers []*Analyzer) []Finding {
 		}
 		a.Run(pass)
 	}
-	return suppress(findings, dirs)
+	out := suppress(findings, dirs)
+	if !strict {
+		return out
+	}
+	ran := map[string]bool{TypecheckName: true, directiveName: true}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, ds := range dirs {
+		for _, d := range ds {
+			if d.used || !ran[d.analyzer] {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(d.pos),
+				Analyzer: directiveName,
+				Message: fmt.Sprintf(
+					"stale ignore directive for %q: it suppresses nothing; delete it", d.analyzer),
+			})
+		}
+	}
+	return out
 }
 
 // AnalyzePackages analyzes every package and returns all findings in
 // position order.
 func AnalyzePackages(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return analyzePackages(pkgs, analyzers, false)
+}
+
+// AnalyzePackagesStrict is AnalyzePackages with AnalyzeStrict's
+// stale-suppression reporting.
+func AnalyzePackagesStrict(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return analyzePackages(pkgs, analyzers, true)
+}
+
+func analyzePackages(pkgs []*Package, analyzers []*Analyzer, strict bool) []Finding {
 	var out []Finding
 	for _, pkg := range pkgs {
-		out = append(out, Analyze(pkg, analyzers)...)
+		out = append(out, analyze(pkg, analyzers, strict)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

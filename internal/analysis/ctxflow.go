@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxScoped lists the packages whose functions sit on a request path
+// with a deadline attached: the RPC layer propagates it on the wire,
+// core enforces it per hop, objstore serves under it, and the harness
+// originates it. A fresh context root or a cancellation strip anywhere
+// in these packages silently detaches work from the caller's deadline.
+var ctxScoped = map[string]bool{
+	"vizndp/internal/rpc":      true,
+	"vizndp/internal/core":     true,
+	"vizndp/internal/objstore": true,
+	"vizndp/internal/harness":  true,
+}
+
+// CtxFlow enforces context threading on the request path:
+//
+//   - a function that receives a ctx must not call context.Background()
+//     or context.TODO(): the caller's deadline and cancellation are
+//     silently dropped;
+//   - a function that receives a ctx must not call a ctx-less method
+//     when a Context-suffixed sibling exists on the same receiver
+//     (c.Call when c.CallContext exists) — the convenience wrapper
+//     routes through Background internally;
+//   - any new context root in a ctxScoped package is flagged, except
+//     the wrapper idiom `return x.FooContext(context.Background(),
+//     ...)` as a ctx-less function's whole body, which is the
+//     sanctioned way to offer a convenience API;
+//   - context.WithoutCancel is always flagged in scope: detaching from
+//     the caller's cancellation must be justified at the site (the
+//     coalescer's shared-scan semantics are the one audited case).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "request-path code must thread the caller's ctx: no new roots, no cancellation strips, no ctx-less siblings",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	if pass.Info == nil || !ctxScoped[pass.Path] {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkCtxBody(pass, fn.Type, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkCtxBody(pass, fn.Type, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxBody checks one function (declaration or literal) given its
+// signature. Nested literals are skipped: each is checked with its own
+// parameter list, so a literal that closes over an outer ctx is judged
+// as a root-scope function — harness goroutine roots that want the
+// outer ctx must take it explicitly or justify the new root.
+func checkCtxBody(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	ctxName := ctxParamName(pass, ftype)
+	inspectSkipFuncLit(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.calleeObj(call)
+		switch {
+		case isPkgFunc(obj, "context", "Background") || isPkgFunc(obj, "context", "TODO"):
+			if ctxName == "" && isWrapperReturn(body, call) {
+				return true
+			}
+			if ctxName != "" {
+				pass.Reportf(call.Pos(),
+					"context.%s() inside a function that receives ctx %q: the caller's deadline and cancellation are dropped — pass %s",
+					obj.Name(), ctxName, ctxName)
+			} else {
+				pass.Reportf(call.Pos(),
+					"new context root context.%s() on the request path: deadlines cannot propagate through it; thread a ctx parameter or justify with an ignore",
+					obj.Name())
+			}
+		case isPkgFunc(obj, "context", "WithoutCancel"):
+			pass.Reportf(call.Pos(),
+				"context.WithoutCancel detaches this work from the caller's cancellation; request abandonment will not stop it")
+		default:
+			if ctxName == "" {
+				return true
+			}
+			if sib := ctxlessSibling(pass, call, obj); sib != "" {
+				pass.Reportf(call.Pos(),
+					"ctx %q in scope but ctx-less %s called: use %s and pass %s",
+					ctxName, obj.Name(), sib, ctxName)
+			}
+		}
+		return true
+	})
+}
+
+// ctxParamName returns the name of the first context.Context parameter,
+// or "" when the function takes none (or only a blank one).
+func ctxParamName(pass *Pass, ftype *ast.FuncType) string {
+	if ftype.Params == nil {
+		return ""
+	}
+	for _, field := range ftype.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isWrapperReturn recognizes the convenience-wrapper idiom: the whole
+// function body is a single return whose call receives the new root
+// directly, e.g. `return c.ListContext(context.Background(), dir)`.
+func isWrapperReturn(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	return ret.Pos() <= call.Pos() && call.End() <= ret.End()
+}
+
+// ctxlessSibling reports the name of a Context-suffixed method sibling
+// when call invokes a ctx-less method that has one on the same
+// receiver: c.Call where c.CallContext(ctx, ...) exists.
+func ctxlessSibling(pass *Pass, call *ast.CallExpr, obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type()) {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	recvT := pass.TypeOf(sel.X)
+	if recvT == nil {
+		return ""
+	}
+	sibName := sel.Sel.Name + "Context"
+	sibObj, _, _ := types.LookupFieldOrMethod(recvT, true, fn.Pkg(), sibName)
+	sibFn, ok := sibObj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	// slog's *Context variants exist so handlers can extract values, not
+	// to propagate deadlines; logging is not request work, so Debug vs
+	// DebugContext is a style choice this analyzer stays out of.
+	if sibFn.Pkg() != nil && sibFn.Pkg().Path() == "log/slog" {
+		return ""
+	}
+	sibSig, ok := sibFn.Type().(*types.Signature)
+	if !ok || sibSig.Params().Len() == 0 || !isContextType(sibSig.Params().At(0).Type()) {
+		return ""
+	}
+	return sibName
+}

@@ -31,6 +31,18 @@ type flowOps[S any] interface {
 	MergeInto(dst, src S)
 }
 
+// branchFlowOps is an optional extension: a client implementing it is
+// told which way each if condition went on the path it is about to
+// walk, so it can refine state from the condition itself (the
+// obligation engine cancels a resource's obligation on the path where
+// its paired error is known non-nil — `c, err := dial(); if err != nil
+// { return err }` must not report a leaked c on the error return).
+type branchFlowOps[S any] interface {
+	// Branch is called after Clone for each arm of an if: taken reports
+	// whether cond evaluated true on the path st describes.
+	Branch(cond ast.Expr, taken bool, st S)
+}
+
 // walkFlow walks stmts with state st, returning whether every path
 // through them terminates (returns or panics).
 func walkFlow[S any](p *Pass, stmts []ast.Stmt, st S, ops flowOps[S]) bool {
@@ -55,16 +67,26 @@ func walkFlowStmt[S any](p *Pass, s ast.Stmt, st S, ops flowOps[S]) bool {
 			ops.Leaf(n.Init, st)
 		}
 		ops.Leaf(n.Cond, st)
+		branch, branching := any(ops).(branchFlowOps[S])
 		bodySt := ops.Clone(st)
+		if branching {
+			branch.Branch(n.Cond, true, bodySt)
+		}
 		bodyTerm := walkFlow(p, n.Body.List, bodySt, ops)
 		if n.Else == nil {
 			// Fallthrough paths: condition-false (st) and body.
+			if branching {
+				branch.Branch(n.Cond, false, st)
+			}
 			if !bodyTerm {
 				ops.MergeInto(st, bodySt)
 			}
 			return false
 		}
 		elseSt := ops.Clone(st)
+		if branching {
+			branch.Branch(n.Cond, false, elseSt)
+		}
 		elseTerm := walkFlowStmt(p, n.Else, elseSt, ops)
 		switch {
 		case bodyTerm && elseTerm:

@@ -20,25 +20,43 @@ type goldenCase struct {
 	importPath string
 	// analyzers is the -run style comma list ("" = all).
 	analyzers string
+	// strict runs the case with stale-suppression reporting on.
+	strict bool
 }
 
 func goldenCases() []goldenCase {
 	const fake = "vizndp/internal/analysis/testdata"
 	return []goldenCase{
-		{"lockhold/bad", fake + "/lockhold/bad", "lockhold"},
-		{"lockhold/clean", fake + "/lockhold/clean", "lockhold"},
-		{"spanend/bad", fake + "/spanend/bad", "spanend"},
-		{"spanend/clean", fake + "/spanend/clean", "spanend"},
-		{"nopanic/bad", "vizndp/internal/core", "nopanic"},
-		{"nopanic/clean", "vizndp/internal/core", "nopanic"},
-		{"floateq/bad", fake + "/floateq/bad", "floateq"},
-		{"floateq/clean", fake + "/floateq/clean", "floateq"},
-		{"errwrap/bad", fake + "/errwrap/bad", "errwrap"},
-		{"errwrap/clean", fake + "/errwrap/clean", "errwrap"},
-		{"directive/bad", fake + "/directive/bad", "floateq"},
-		{"directive/clean", fake + "/directive/clean", "floateq"},
-		{"typecheck/broken", fake + "/typecheck/broken", ""},
-		{"multifile/bad", fake + "/multifile/bad", "floateq,errwrap"},
+		{dir: "lockhold/bad", importPath: fake + "/lockhold/bad", analyzers: "lockhold"},
+		{dir: "lockhold/clean", importPath: fake + "/lockhold/clean", analyzers: "lockhold"},
+		// blockinglock rule 2 and goroleak scope themselves to request
+		// path packages, so their fixtures borrow the rpc import path;
+		// ctxflow's borrow core.
+		{dir: "blockinglock/bad", importPath: "vizndp/internal/rpc", analyzers: "blockinglock"},
+		{dir: "blockinglock/clean", importPath: "vizndp/internal/rpc", analyzers: "blockinglock"},
+		{dir: "blockinglock/broken", importPath: "vizndp/internal/rpc", analyzers: "blockinglock"},
+		{dir: "spanend/bad", importPath: fake + "/spanend/bad", analyzers: "spanend"},
+		{dir: "spanend/clean", importPath: fake + "/spanend/clean", analyzers: "spanend"},
+		{dir: "closepath/bad", importPath: fake + "/closepath/bad", analyzers: "closepath"},
+		{dir: "closepath/clean", importPath: fake + "/closepath/clean", analyzers: "closepath"},
+		{dir: "closepath/broken", importPath: fake + "/closepath/broken", analyzers: "closepath"},
+		{dir: "goroleak/bad", importPath: "vizndp/internal/rpc", analyzers: "goroleak"},
+		{dir: "goroleak/clean", importPath: "vizndp/internal/rpc", analyzers: "goroleak"},
+		{dir: "goroleak/broken", importPath: "vizndp/internal/rpc", analyzers: "goroleak"},
+		{dir: "ctxflow/bad", importPath: "vizndp/internal/core", analyzers: "ctxflow"},
+		{dir: "ctxflow/clean", importPath: "vizndp/internal/core", analyzers: "ctxflow"},
+		{dir: "ctxflow/broken", importPath: "vizndp/internal/core", analyzers: "ctxflow"},
+		{dir: "nopanic/bad", importPath: "vizndp/internal/core", analyzers: "nopanic"},
+		{dir: "nopanic/clean", importPath: "vizndp/internal/core", analyzers: "nopanic"},
+		{dir: "floateq/bad", importPath: fake + "/floateq/bad", analyzers: "floateq"},
+		{dir: "floateq/clean", importPath: fake + "/floateq/clean", analyzers: "floateq"},
+		{dir: "errwrap/bad", importPath: fake + "/errwrap/bad", analyzers: "errwrap"},
+		{dir: "errwrap/clean", importPath: fake + "/errwrap/clean", analyzers: "errwrap"},
+		{dir: "directive/bad", importPath: fake + "/directive/bad", analyzers: "floateq"},
+		{dir: "directive/clean", importPath: fake + "/directive/clean", analyzers: "floateq"},
+		{dir: "directive/stale", importPath: fake + "/directive/stale", analyzers: "", strict: true},
+		{dir: "typecheck/broken", importPath: fake + "/typecheck/broken", analyzers: ""},
+		{dir: "multifile/bad", importPath: fake + "/multifile/bad", analyzers: "floateq,errwrap"},
 	}
 }
 
@@ -58,7 +76,12 @@ func TestGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			findings := AnalyzePackages([]*Package{pkg}, analyzers)
+			var findings []Finding
+			if c.strict {
+				findings = AnalyzePackagesStrict([]*Package{pkg}, analyzers)
+			} else {
+				findings = AnalyzePackages([]*Package{pkg}, analyzers)
+			}
 			var b strings.Builder
 			for _, f := range findings {
 				fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n",

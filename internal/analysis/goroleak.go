@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroutineScopedExtra adds the experiment harness, the network
+// simulator, the pipeline driver, and the data generators to the
+// request-serving set for goroutine-leak checking: their goroutines
+// outlive experiments rather than requests, but a leak there skews the
+// very throughput numbers the experiments exist to measure.
+var goroutineScopedExtra = map[string]bool{
+	"vizndp/internal/harness":  true,
+	"vizndp/internal/netsim":   true,
+	"vizndp/internal/sim":      true,
+	"vizndp/internal/pipeline": true,
+}
+
+// GoroLeak checks that every `go` statement in request-serving (and
+// harness) packages has a visible termination path. A spawned function
+// literal passes when any of the following holds:
+//
+//   - it receives: a channel receive, a select, or a range over a
+//     channel anywhere in its body (including nested/deferred literals)
+//     means it is consumer-driven and unblocks when the channel closes
+//     or ctx is cancelled;
+//   - it is bounded by a WaitGroup: the body calls wg.Done (usually
+//     deferred) and a wg.Wait on the same receiver is visible in the
+//     file, so a stuck goroutine surfaces as a stuck Wait, not a silent
+//     leak;
+//   - it is bounded by construction: no sends and no exit-less infinite
+//     loop, so the body simply runs to completion.
+//
+// A send-only goroutine (errs <- work()) with none of the above leaks
+// forever when the receiver has already given up — the classic
+// drain-path bug. Named same-package callees are checked only for the
+// grossest shape, an infinite for loop with no return, break, or
+// channel operation; callees in other packages are trusted to manage
+// their own lifecycle. Deliberate fire-and-forget goroutines carry a
+// `vizlint:ignore goroleak <reason>` directive naming the invariant
+// that guarantees the receiver.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines in request-serving packages need a termination path (receive, WaitGroup bound, or bounded body)",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	if pass.Info == nil {
+		return
+	}
+	if !requestServing[pass.Path] && !goroutineScopedExtra[pass.Path] {
+		return
+	}
+	for _, file := range pass.Files {
+		funcBodies(file, func(name string, body *ast.BlockStmt) {
+			inspectSkipFuncLit(body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					checkGoStmt(pass, file, g)
+				}
+				return true
+			})
+		})
+	}
+}
+
+func checkGoStmt(pass *Pass, file *ast.File, g *ast.GoStmt) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		checkGoroutineLit(pass, file, g, lit)
+		return
+	}
+	obj := pass.calleeObj(g.Call)
+	if obj == nil || obj.Pkg() == nil || pass.Pkg == nil || obj.Pkg() != pass.Pkg {
+		// Dynamic call or another package's function: its lifecycle is
+		// that code's contract, not this go statement's.
+		return
+	}
+	decl := findFuncDecl(pass, obj)
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	if pos := exitlessLoop(decl.Body); pos.IsValid() {
+		pass.Reportf(g.Pos(),
+			"goroutine runs %s, whose infinite for loop (line %d) has no return, break, or channel operation: it can never terminate",
+			obj.Name(), pass.Fset.Position(pos).Line)
+	}
+}
+
+func checkGoroutineLit(pass *Pass, file *ast.File, g *ast.GoStmt, lit *ast.FuncLit) {
+	var hasRecv, hasSend, hasExitlessLoop bool
+	doneRecvs := make(map[string]bool)
+	// Full inspection, nested literals included: `defer func() { <-sem
+	// }()` and a deferred wg.Done both count for the spawned goroutine.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				hasRecv = true
+			}
+		case *ast.SelectStmt:
+			hasRecv = true
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					hasRecv = true
+				}
+			}
+		case *ast.SendStmt:
+			hasSend = true
+		case *ast.ForStmt:
+			if x.Cond == nil && !loopHasExit(x.Body) {
+				hasExitlessLoop = true
+			}
+		case *ast.CallExpr:
+			if recv, ok := syncGroupCall(pass, x, "Done"); ok {
+				doneRecvs[recv] = true
+			}
+		}
+		return true
+	})
+	if hasRecv {
+		return
+	}
+	if len(doneRecvs) > 0 && waitReachable(pass, file, doneRecvs) {
+		return
+	}
+	if !hasSend && !hasExitlessLoop {
+		return // bounded body: runs to completion on its own
+	}
+	what := "sends with no receive guard"
+	if hasExitlessLoop {
+		what = "loops forever"
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine has no termination path: it %s and is not WaitGroup-bounded; select on ctx.Done/a close-able channel, bound it, or justify with an ignore",
+		what)
+}
+
+// waitReachable reports whether any of the Done receivers has a
+// matching wg.Wait() call somewhere in the file. Receiver matching is
+// by expression text, the same convention mutexOp uses for lock keys.
+func waitReachable(pass *Pass, file *ast.File, doneRecvs map[string]bool) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, ok := syncGroupCall(pass, call, "Wait"); ok && doneRecvs[recv] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// syncGroupCall matches recvExpr.name() where name resolves into
+// package sync (WaitGroup.Done / WaitGroup.Wait), returning the
+// receiver's expression text.
+func syncGroupCall(pass *Pass, call *ast.CallExpr, name string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return "", false
+	}
+	if !isPkgFunc(pass.calleeObj(call), "sync", name) {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// exitlessLoop returns the position of the first `for {}` in body whose
+// own body contains no return, break, or channel operation — a loop
+// that provably never lets the goroutine exit.
+func exitlessLoop(body *ast.BlockStmt) token.Pos {
+	pos := token.NoPos
+	inspectSkipFuncLit(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if f, ok := n.(*ast.ForStmt); ok && f.Cond == nil && !loopHasExit(f.Body) {
+			pos = f.Pos()
+			return false
+		}
+		return true
+	})
+	return pos
+}
+
+// loopHasExit reports whether a loop body contains anything that can
+// end or unblock it: return, break, goto, panic, a channel op, or a
+// select.
+func loopHasExit(body *ast.BlockStmt) bool {
+	has := false
+	inspectSkipFuncLit(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ReturnStmt, *ast.SelectStmt, *ast.SendStmt, *ast.RangeStmt:
+			has = true
+		case *ast.BranchStmt:
+			if x.Tok == token.BREAK || x.Tok == token.GOTO {
+				has = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				has = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				has = true
+			}
+		}
+		return !has
+	})
+	return has
+}
+
+// findFuncDecl locates the declaration of obj among the pass's files.
+func findFuncDecl(pass *Pass, obj types.Object) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if pass.Info.ObjectOf(fd.Name) == obj {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -15,11 +15,14 @@ const rpcPath = "vizndp/internal/rpc"
 //
 //  1. every sync.Mutex/RWMutex Lock or RLock is released on all paths
 //     out of the function (defer or explicit unlock before each return);
-//  2. no blocking operation — an RPC client call, a filesystem read, a
-//     channel send/receive/select, a WaitGroup.Wait, or time.Sleep —
-//     happens while a mutex is held. The arraycache's single-flight
-//     loads and the RPC server's response path were designed around
-//     exactly this rule: do the slow work outside the critical section.
+//  2. no blocking call — an RPC client call, a filesystem read, a
+//     WaitGroup.Wait, or time.Sleep — happens while a mutex is held.
+//     The arraycache's single-flight loads and the RPC server's
+//     response path were designed around exactly this rule: do the slow
+//     work outside the critical section.
+//
+// Channel operations under a held mutex are BlockingLock's job, which
+// shares this file's mutex tracking (mutexOp, lockState).
 var LockHold = &Analyzer{
 	Name: "lockhold",
 	Doc:  "mutexes must be released on all paths and never held across blocking operations",
@@ -64,7 +67,7 @@ type lockFlow struct {
 	pass *Pass
 }
 
-func (f *lockFlow) Clone(st *lockState) *lockState {
+func cloneLockState(st *lockState) *lockState {
 	out := newLockState()
 	for k, v := range st.held {
 		out.held[k] = v
@@ -75,9 +78,10 @@ func (f *lockFlow) Clone(st *lockState) *lockState {
 	return out
 }
 
-// MergeInto unions held locks (held on any path counts) and intersects
-// deferred unlocks, except into a freshly cleared state (plain copy).
-func (f *lockFlow) MergeInto(dst, src *lockState) {
+// mergeLockState unions held locks (held on any path counts) and
+// intersects deferred unlocks, except into a freshly cleared state
+// (plain copy).
+func mergeLockState(dst, src *lockState) {
 	fresh := len(dst.held) == 0 && len(dst.deferred) == 0
 	for k, v := range src.held {
 		if _, ok := dst.held[k]; !ok {
@@ -97,41 +101,33 @@ func (f *lockFlow) MergeInto(dst, src *lockState) {
 	}
 }
 
+func (f *lockFlow) Clone(st *lockState) *lockState { return cloneLockState(st) }
+
+func (f *lockFlow) MergeInto(dst, src *lockState) { mergeLockState(dst, src) }
+
 func (f *lockFlow) Leaf(n ast.Node, st *lockState) {
 	inspectSkipFuncLit(n, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.CallExpr:
-			if key, hl, acquire, ok := f.lockOp(x); ok {
-				if acquire {
-					if prev, held := st.held[key]; held {
-						f.pass.Reportf(x.Pos(),
-							"%s locked again while already held (acquired at line %d): deadlock",
-							hl.expr, f.pass.Fset.Position(prev.pos).Line)
-					}
-					st.held[key] = hl
-				} else {
-					delete(st.held, key)
+		x, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, hl, acquire, ok := mutexOp(f.pass, x); ok {
+			if acquire {
+				if prev, held := st.held[key]; held {
+					f.pass.Reportf(x.Pos(),
+						"%s locked again while already held (acquired at line %d): deadlock",
+						hl.expr, f.pass.Fset.Position(prev.pos).Line)
 				}
-				return true
+				st.held[key] = hl
+			} else {
+				delete(st.held, key)
 			}
-			if len(st.held) > 0 {
-				if what := blockingCall(f.pass, x); what != "" {
-					f.reportBlocked(x.Pos(), what, st)
-				}
+			return true
+		}
+		if len(st.held) > 0 {
+			if what := blockingCall(f.pass, x); what != "" {
+				f.reportBlocked(x.Pos(), what, st)
 			}
-		case *ast.SendStmt:
-			if len(st.held) > 0 {
-				f.reportBlocked(x.Arrow, "channel send", st)
-			}
-		case *ast.UnaryExpr:
-			if x.Op == token.ARROW && len(st.held) > 0 {
-				f.reportBlocked(x.OpPos, "channel receive", st)
-			}
-		case *ast.SelectStmt:
-			if len(st.held) > 0 {
-				f.reportBlocked(x.Select, "select", st)
-			}
-			return false // cases and bodies are walked by the engine
 		}
 		return true
 	})
@@ -146,7 +142,7 @@ func (f *lockFlow) reportBlocked(pos token.Pos, what string, st *lockState) {
 
 func (f *lockFlow) Defer(d *ast.DeferStmt, st *lockState) {
 	// defer mu.Unlock()
-	if key, _, acquire, ok := f.lockOp(d.Call); ok && !acquire {
+	if key, _, acquire, ok := mutexOp(f.pass, d.Call); ok && !acquire {
 		st.deferred[key] = true
 		return
 	}
@@ -159,7 +155,7 @@ func (f *lockFlow) Defer(d *ast.DeferStmt, st *lockState) {
 			if !ok {
 				return true
 			}
-			if key, _, acquire, ok := f.lockOp(call); ok {
+			if key, _, acquire, ok := mutexOp(f.pass, call); ok {
 				if acquire {
 					local[key] = true
 				} else if local[key] {
@@ -183,9 +179,9 @@ func (f *lockFlow) Return(pos token.Pos, st *lockState) {
 	}
 }
 
-// lockOp recognizes a sync mutex method call. acquire is true for
-// Lock/RLock, false for Unlock/RUnlock.
-func (f *lockFlow) lockOp(call *ast.CallExpr) (key string, hl heldLock, acquire, ok bool) {
+// mutexOp recognizes a sync mutex method call. acquire is true for
+// Lock/RLock, false for Unlock/RUnlock. Shared with BlockingLock.
+func mutexOp(pass *Pass, call *ast.CallExpr) (key string, hl heldLock, acquire, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
 		return "", heldLock{}, false, false
@@ -201,7 +197,7 @@ func (f *lockFlow) lockOp(call *ast.CallExpr) (key string, hl heldLock, acquire,
 	default:
 		return "", heldLock{}, false, false
 	}
-	obj := f.pass.calleeObj(call)
+	obj := pass.calleeObj(call)
 	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
 		return "", heldLock{}, false, false
 	}

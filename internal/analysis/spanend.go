@@ -15,242 +15,39 @@ const telemetryPath = "vizndp/internal/telemetry"
 // each early-error return. A span that never ends silently vanishes
 // from traces and from the per-stage timings the experiments report, so
 // a missed path corrupts the paper's core measurement.
+//
+// SpanEnd is an obligation-engine instance: acquire = StartSpan's span
+// result, discharge = End(), with ownership escaping when the span is
+// returned, stored, or passed on.
 var SpanEnd = &Analyzer{
 	Name: "spanend",
 	Doc:  "telemetry.StartSpan results must reach End() on every return path",
 	Run:  runSpanEnd,
 }
 
+var spanSpec = &obligationSpec{
+	tracks: func(pass *Pass, call *ast.CallExpr, i int, t types.Type) (string, bool) {
+		if i != 1 || !isStartSpanCall(pass, call) {
+			return "", false
+		}
+		return "span", true
+	},
+	discharges: func(name string) bool { return name == "End" },
+	reportDiscard: func(pass *Pass, pos token.Pos, kind string) {
+		pass.Reportf(pos, "StartSpan result discarded; the span can never be ended")
+	},
+	reportLeak: func(pass *Pass, pos token.Pos, kind, name string, startLine int) {
+		pass.Reportf(pos, "span %q started at line %d is not ended on this return path",
+			name, startLine)
+	},
+}
+
 func runSpanEnd(pass *Pass) {
-	for _, file := range pass.Files {
-		funcBodies(file, func(name string, body *ast.BlockStmt) {
-			checkSpanBody(pass, body)
-		})
-	}
-}
-
-// spanState tracks spans started but not yet ended on the current path.
-type spanState struct {
-	pending  map[types.Object]token.Pos
-	deferred map[types.Object]bool
-}
-
-func newSpanState() *spanState {
-	return &spanState{
-		pending:  make(map[types.Object]token.Pos),
-		deferred: make(map[types.Object]bool),
-	}
-}
-
-func (s *spanState) clear() {
-	s.pending = make(map[types.Object]token.Pos)
-	s.deferred = make(map[types.Object]bool)
-}
-
-type spanFlow struct {
-	pass    *Pass
-	tracked map[types.Object]bool
-}
-
-func (f *spanFlow) Clone(st *spanState) *spanState {
-	out := newSpanState()
-	for k, v := range st.pending {
-		out.pending[k] = v
-	}
-	for k := range st.deferred {
-		out.deferred[k] = true
-	}
-	return out
-}
-
-// MergeInto unions outstanding spans (pending on any path counts) and
-// intersects deferred Ends (a defer only helps if every path ran it) —
-// except into an empty state, which is a plain copy (replace).
-func (f *spanFlow) MergeInto(dst, src *spanState) {
-	fresh := len(dst.pending) == 0 && len(dst.deferred) == 0
-	for k, v := range src.pending {
-		if _, ok := dst.pending[k]; !ok {
-			dst.pending[k] = v
-		}
-	}
-	if fresh {
-		for k := range src.deferred {
-			dst.deferred[k] = true
-		}
-		return
-	}
-	for k := range dst.deferred {
-		if !src.deferred[k] {
-			delete(dst.deferred, k)
-		}
-	}
-}
-
-func (f *spanFlow) Leaf(n ast.Node, st *spanState) {
-	inspectSkipFuncLit(n, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.AssignStmt:
-			if obj, pos, ok := f.startSpanAssign(x); ok {
-				st.pending[obj] = pos
-			}
-		case *ast.CallExpr:
-			if obj := f.endedSpan(x); obj != nil {
-				delete(st.pending, obj)
-			}
-		}
-		return true
-	})
-}
-
-func (f *spanFlow) Defer(d *ast.DeferStmt, st *spanState) {
-	// defer span.End()
-	if obj := f.endedSpan(d.Call); obj != nil {
-		st.deferred[obj] = true
-		return
-	}
-	// defer func() { ...; span.End(); ... }()
-	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
-		inspectSkipFuncLit(lit.Body, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok {
-				if obj := f.endedSpan(call); obj != nil {
-					st.deferred[obj] = true
-				}
-			}
-			return true
-		})
-	}
-}
-
-func (f *spanFlow) Return(pos token.Pos, st *spanState) {
-	for obj, start := range st.pending {
-		if st.deferred[obj] {
-			continue
-		}
-		f.pass.Reportf(pos, "span %q started at line %d is not ended on this return path",
-			obj.Name(), f.pass.Fset.Position(start).Line)
-	}
-}
-
-// startSpanAssign recognizes `ctx, span := telemetry.StartSpan(...)`
-// (or `=` / a Tracer method call) and returns the span variable's
-// object when it is one this flow tracks.
-func (f *spanFlow) startSpanAssign(a *ast.AssignStmt) (types.Object, token.Pos, bool) {
-	if len(a.Rhs) != 1 || len(a.Lhs) != 2 {
-		return nil, 0, false
-	}
-	call, ok := a.Rhs[0].(*ast.CallExpr)
-	if !ok || !isStartSpanCall(f.pass, call) {
-		return nil, 0, false
-	}
-	id, ok := a.Lhs[1].(*ast.Ident)
-	if !ok {
-		return nil, 0, false
-	}
-	obj := f.pass.Info.ObjectOf(id)
-	if obj == nil || !f.tracked[obj] {
-		return nil, 0, false
-	}
-	return obj, a.Pos(), true
-}
-
-// endedSpan returns the tracked span object when call is span.End().
-func (f *spanFlow) endedSpan(call *ast.CallExpr) types.Object {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "End" {
-		return nil
-	}
-	id, ok := ast.Unparen(sel.X).(*ast.Ident)
-	if !ok {
-		return nil
-	}
-	obj := f.pass.Info.ObjectOf(id)
-	if obj == nil || !f.tracked[obj] {
-		return nil
-	}
-	return obj
+	runObligation(pass, spanSpec)
 }
 
 // isStartSpanCall reports whether call invokes telemetry.StartSpan or
 // (*telemetry.Tracer).StartSpan.
 func isStartSpanCall(pass *Pass, call *ast.CallExpr) bool {
 	return isPkgFunc(pass.calleeObj(call), telemetryPath, "StartSpan")
-}
-
-// checkSpanBody analyzes one function body: find span variables born
-// from StartSpan, drop the ones whose spans escape (returned, passed
-// on, or stored — ownership moved elsewhere), then flow-walk to verify
-// End() on every path.
-func checkSpanBody(pass *Pass, body *ast.BlockStmt) {
-	if pass.Info == nil {
-		return
-	}
-	candidates := make(map[types.Object]bool)
-	inspectSkipFuncLit(body, func(n ast.Node) bool {
-		a, ok := n.(*ast.AssignStmt)
-		if !ok || len(a.Rhs) != 1 || len(a.Lhs) != 2 {
-			return true
-		}
-		call, ok := a.Rhs[0].(*ast.CallExpr)
-		if !ok || !isStartSpanCall(pass, call) {
-			return true
-		}
-		id, ok := a.Lhs[1].(*ast.Ident)
-		if !ok {
-			return true
-		}
-		if id.Name == "_" {
-			pass.Reportf(id.Pos(), "StartSpan result discarded; the span can never be ended")
-			return true
-		}
-		if obj := pass.Info.ObjectOf(id); obj != nil {
-			candidates[obj] = true
-		}
-		return true
-	})
-	if len(candidates) == 0 {
-		return
-	}
-
-	// Escape analysis: a span identifier may be the receiver of a method
-	// call (span.End(), span.SetAttr(...)) or an assignment target; any
-	// other use — including a bare method value like `return span.End` —
-	// hands the span to code this walk cannot see, so the obligation
-	// moves with it.
-	allowed := make(map[*ast.Ident]bool)
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.CallExpr:
-			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
-				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
-					allowed[id] = true
-				}
-			}
-		case *ast.AssignStmt:
-			for _, l := range x.Lhs {
-				if id, ok := l.(*ast.Ident); ok {
-					allowed[id] = true
-				}
-			}
-		}
-		return true
-	})
-	ast.Inspect(body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok || allowed[id] {
-			return true
-		}
-		if obj := pass.Info.ObjectOf(id); obj != nil && candidates[obj] {
-			delete(candidates, obj)
-		}
-		return true
-	})
-	if len(candidates) == 0 {
-		return
-	}
-
-	flow := &spanFlow{pass: pass, tracked: candidates}
-	st := newSpanState()
-	if !walkFlow(pass, body.List, st, flow) {
-		flow.Return(body.End(), st)
-	}
 }

@@ -1,0 +1,46 @@
+// Package bad violates the blockinglock discipline: channel operations
+// while a mutex is held, and admission-path sends with no escape hatch.
+// It is type-checked under the rpc import path so rule 2 (unguarded
+// sends on channels not created in this file) is in scope.
+package bad
+
+import "sync"
+
+type queue struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func sendWhileHeld(q *queue, v int) {
+	q.mu.Lock()
+	q.ch <- v
+	q.mu.Unlock()
+}
+
+func receiveWhileHeld(q *queue) int {
+	q.mu.Lock()
+	v := <-q.ch
+	q.mu.Unlock()
+	return v
+}
+
+func blockingSelectWhileHeld(q *queue, done chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case v := <-q.ch:
+		_ = v
+	case <-done:
+	}
+}
+
+// nakedSendOnField: q.ch is never made in this file, so the sender
+// cannot prove buffer capacity.
+func nakedSendOnField(q *queue, v int) {
+	q.ch <- v
+}
+
+// nakedSendOnParam: same, on a channel parameter.
+func nakedSendOnParam(ch chan int, v int) {
+	ch <- v
+}

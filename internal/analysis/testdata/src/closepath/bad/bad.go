@@ -1,0 +1,43 @@
+// Package bad leaks Closers in the ways closepath detects.
+package bad
+
+import "net"
+
+// leakOnErrorPath closes on success but not on the write-error return.
+func leakOnErrorPath(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if _, werr := conn.Write([]byte("ping")); werr != nil {
+		return werr
+	}
+	return conn.Close()
+}
+
+// neverClosed acquires and returns without ever discharging.
+func neverClosed(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	_, err = conn.Write([]byte("ping"))
+	return err
+}
+
+// discarded can never be closed at all.
+func discarded(addr string) {
+	_, _ = net.Dial("tcp", addr)
+}
+
+// leakListener forgets the listener on the early return.
+func leakListener(addr string, stop bool) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if stop {
+		return nil
+	}
+	return ln.Close()
+}

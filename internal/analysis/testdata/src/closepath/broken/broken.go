@@ -1,0 +1,16 @@
+// Package broken fails to type-check; closepath must still run over
+// the partial AST without crashing.
+package broken
+
+import "net"
+
+var bogus undefinedType
+
+func leak(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	_, err = conn.Write([]byte("ping"))
+	return err
+}

@@ -1,0 +1,88 @@
+// Package clean holds Closer usage closepath must accept.
+package clean
+
+import "net"
+
+// withDefer is the canonical shape: close deferred right after the
+// error check.
+func withDefer(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = conn.Write([]byte("ping"))
+	return err
+}
+
+// escapeViaReturn hands ownership to the caller: no local obligation.
+func escapeViaReturn(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+// escapeViaCallee hands the conn to a consumer, which owns it now.
+func escapeViaCallee(addr string, serve func(net.Conn)) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	serve(conn)
+	return nil
+}
+
+// escapeViaStore parks the conn in a struct; its Close happens on the
+// struct's own lifecycle.
+type pooled struct {
+	conn net.Conn
+}
+
+func escapeViaStore(addr string, p *pooled) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	p.conn = conn
+	return nil
+}
+
+// explicitBothPaths closes on every return without defer.
+func explicitBothPaths(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if _, werr := conn.Write([]byte("ping")); werr != nil {
+		conn.Close()
+		return werr
+	}
+	return conn.Close()
+}
+
+// deferredClosure discharges inside a deferred literal.
+func deferredClosure(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = conn.Close()
+	}()
+	_, err = conn.Write([]byte("ping"))
+	return err
+}
+
+// suppressed names the invariant that makes the open-ended conn safe;
+// the directive sits on the return path the leak would be reported at.
+func suppressed(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	_, err = conn.Write([]byte("ping"))
+	// vizlint:ignore closepath one-shot probe: the process exits right after and the OS reaps the fd
+	return err
+}

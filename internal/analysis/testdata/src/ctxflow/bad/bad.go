@@ -1,0 +1,37 @@
+// Package bad drops contexts in every way ctxflow detects. It is
+// type-checked under the core import path to be on the request path.
+package bad
+
+import "context"
+
+type client struct{}
+
+func (c *client) Fetch(path string) error                             { return nil }
+func (c *client) FetchContext(ctx context.Context, path string) error { return nil }
+
+// freshRootWithCtx drops the caller's deadline for a new root.
+func freshRootWithCtx(ctx context.Context, c *client) error {
+	return c.FetchContext(context.Background(), "x")
+}
+
+// todoWithCtx is the same failure spelled TODO.
+func todoWithCtx(ctx context.Context, c *client) error {
+	return c.FetchContext(context.TODO(), "x")
+}
+
+// ctxlessSibling calls the convenience wrapper although ctx is in hand.
+func ctxlessSibling(ctx context.Context, c *client) error {
+	return c.Fetch("x")
+}
+
+// rootInRequestPath creates a root in a multi-statement body: not the
+// sanctioned single-return wrapper idiom.
+func rootInRequestPath(c *client) error {
+	ctx := context.Background()
+	return c.FetchContext(ctx, "x")
+}
+
+// strip detaches from the caller's cancellation.
+func strip(ctx context.Context, c *client) error {
+	return c.FetchContext(context.WithoutCancel(ctx), "x")
+}

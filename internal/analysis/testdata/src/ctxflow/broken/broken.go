@@ -1,0 +1,11 @@
+// Package broken fails to type-check; ctxflow must still run over the
+// partial AST without crashing.
+package broken
+
+import "context"
+
+var bogus undefinedType
+
+func root(ctx context.Context) context.Context {
+	return context.Background()
+}

@@ -1,0 +1,40 @@
+// Package clean holds context usage ctxflow must accept, type-checked
+// under the core import path to be on the request path.
+package clean
+
+import "context"
+
+type client struct{}
+
+func (c *client) Fetch(path string) error                             { return nil }
+func (c *client) FetchContext(ctx context.Context, path string) error { return nil }
+
+// threaded passes the caller's ctx through.
+func threaded(ctx context.Context, c *client) error {
+	return c.FetchContext(ctx, "x")
+}
+
+// convenience is the sanctioned wrapper idiom: a ctx-less function
+// whose whole body forwards a fresh root to the Context variant.
+func convenience(c *client) error {
+	return c.FetchContext(context.Background(), "x")
+}
+
+// derived scopes the caller's ctx tighter instead of replacing it.
+func derived(ctx context.Context, c *client) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return c.FetchContext(ctx, "x")
+}
+
+// plain is ctx-less calling ctx-less: nothing to thread.
+func plain(c *client) error {
+	return c.Fetch("x")
+}
+
+// suppressed is the audited root form.
+func suppressed(c *client) error {
+	// vizlint:ignore ctxflow synthetic request root for the offline batch path
+	ctx := context.Background()
+	return c.FetchContext(ctx, "x")
+}

@@ -1,0 +1,8 @@
+// Package stale carries a well-formed ignore directive that no longer
+// suppresses anything; -strict-ignores mode reports it.
+package stale
+
+// vizlint:ignore floateq nothing here compares floats any more
+func add(a, b int) int {
+	return a + b
+}

@@ -1,0 +1,46 @@
+// Package bad spawns goroutines with no visible termination path. It
+// is type-checked under the rpc import path to be in goroleak's scope.
+package bad
+
+// sendOnly: the send blocks forever once the receiver gives up.
+func sendOnly(errs chan error, err error) {
+	go func() {
+		errs <- err
+	}()
+}
+
+// exitlessLoop spins with no return, break, or channel operation.
+func exitlessLoop() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+// spin is a named same-package callee whose loop can never end.
+func spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+func spawnSpin() {
+	go spin()
+}
+
+// doneWithoutWait: wg.Done alone is no bound — no Wait in this file
+// ever observes it, and the send still has no receive guard.
+func doneWithoutWait(errs chan error, err error) {
+	var wg waitGroup
+	go func() {
+		defer wg.Done()
+		errs <- err
+	}()
+}
+
+// waitGroup is deliberately NOT sync.WaitGroup, so its Done does not
+// count as WaitGroup evidence.
+type waitGroup struct{}
+
+func (waitGroup) Done() {}

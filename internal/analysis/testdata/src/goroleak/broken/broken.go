@@ -1,0 +1,11 @@
+// Package broken fails to type-check; goroleak must still run over the
+// partial AST without crashing.
+package broken
+
+var bogus undefinedType
+
+func sendOnly(errs chan error, err error) {
+	go func() {
+		errs <- err
+	}()
+}

@@ -1,0 +1,69 @@
+// Package clean holds goroutine shapes goroleak must accept, checked
+// under the rpc import path to be in scope.
+package clean
+
+import (
+	"context"
+	"sync"
+)
+
+// boundedWorkers: wg.Done in the body, wg.Wait reachable below.
+func boundedWorkers(n int, work func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// ctxDriven selects on ctx.Done: cancellation terminates it.
+func ctxDriven(ctx context.Context, ch chan int, sink func(int)) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				sink(v)
+			}
+		}
+	}()
+}
+
+// consumer ranges over a channel: it terminates when ch closes.
+func consumer(ch chan int, sink func(int)) {
+	go func() {
+		for v := range ch {
+			sink(v)
+		}
+	}()
+}
+
+// boundedBody has no sends and no loops: it runs to completion.
+func boundedBody(log func(string)) {
+	go func() {
+		log("checkpoint")
+	}()
+}
+
+// nestedEvidence: the receive lives in a deferred nested literal, which
+// still counts for the spawned goroutine.
+func nestedEvidence(sem chan struct{}, work func()) {
+	sem <- struct{}{}
+	go func() {
+		defer func() { <-sem }()
+		work()
+	}()
+}
+
+// suppressed is the audited fire-and-forget form.
+func suppressed(ch chan int) {
+	// vizlint:ignore goroleak ch is buffered (cap 1) and drained exactly once by the caller
+	go func() {
+		ch <- 1
+	}()
+}

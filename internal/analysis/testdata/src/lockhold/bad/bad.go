@@ -30,18 +30,6 @@ func sleepWhileHeld(c *counter) {
 	c.mu.Unlock()
 }
 
-func sendWhileHeld(c *counter, ch chan int) {
-	c.mu.Lock()
-	ch <- c.n
-	c.mu.Unlock()
-}
-
-func receiveWhileHeld(c *counter, ch chan int) {
-	c.mu.Lock()
-	c.n = <-ch
-	c.mu.Unlock()
-}
-
 func doubleLock(c *counter) {
 	c.mu.Lock()
 	c.mu.Lock()

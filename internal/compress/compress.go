@@ -121,6 +121,7 @@ func (gzipCodec) Compress(src []byte) ([]byte, error) {
 	var buf bytes.Buffer
 	w := gzip.NewWriter(&buf)
 	if _, err := w.Write(src); err != nil {
+		_ = w.Close()
 		return nil, fmt.Errorf("compress: gzip write: %w", err)
 	}
 	if err := w.Close(); err != nil {

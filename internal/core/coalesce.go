@@ -162,6 +162,7 @@ func (s *Server) runBatch(ctx context.Context, bk batchKey, b *scanBatch) time.D
 	// Followers joined this batch, so its fate must not hang on the
 	// leader's caller: detach from the leader's own cancellation and run
 	// the batch to completion.
+	// vizlint:ignore ctxflow followers joined this batch; it must complete for them even if the leader's caller cancels
 	lctx := context.WithoutCancel(ctx)
 	defer close(b.done)
 

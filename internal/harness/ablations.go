@@ -127,6 +127,7 @@ func (e *Env) EndToEnd(array string, iso float64) (*stats.Table, error) {
 			},
 			&pipeline.ContourFilter{Array: array, Isovalues: isos},
 		)
+		// vizlint:ignore ctxflow offline ablation root: no caller deadline exists for the baseline pipeline
 		baseOut, err := basePipe.Run(context.Background())
 		if err != nil {
 			return nil, err
@@ -148,6 +149,7 @@ func (e *Env) EndToEnd(array string, iso float64) (*stats.Table, error) {
 			Encoding:  e.Cfg.Encoding,
 		}
 		ndpPipe := pipeline.New(src, &pipeline.ContourFilter{Array: array, Isovalues: isos})
+		// vizlint:ignore ctxflow offline ablation root: no caller deadline exists for the NDP pipeline
 		ndpOut, err := ndpPipe.Run(context.Background())
 		if err != nil {
 			return nil, err

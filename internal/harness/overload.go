@@ -206,7 +206,9 @@ func (e *Env) OverloadExperiment(array string) (*stats.Table, error) {
 	drainClient, _ := core.DialPool([]string{addrC, addrA}, nil, poolOpts)
 	s0 = shed.Value()
 	drainLats, err := runBurst(drainClient, want, len(burst)/3, func() {
+		// vizlint:ignore goroleak drainErr is buffered (cap 1) and received exactly once after the burst
 		go func() {
+			// vizlint:ignore ctxflow drain root: shutdown must finish even though the burst ctx is gone; bounded by its own 30s timeout
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			defer cancel()
 			drainErr <- srvC.Shutdown(ctx)

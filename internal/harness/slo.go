@@ -192,6 +192,7 @@ func (e *Env) SLOExperiment(array string) (*stats.Table, error) {
 				step := burst[i]
 				// Each fetch runs under a root span so the wire context
 				// propagates and server events carry real trace IDs.
+				// vizlint:ignore ctxflow synthetic request root: each SLO fetch is its own trace with no upstream caller
 				ctx, span := telemetry.StartSpan(context.Background(), "slo.fetch")
 				start := time.Now()
 				p, _, ferr := poolClient.FetchFilteredContext(ctx,
@@ -387,6 +388,7 @@ func (e *Env) SLOExperiment(array string) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// vizlint:ignore ctxflow breach probe is its own synthetic request root with no upstream caller
 	bctx, bspan := telemetry.StartSpan(context.Background(), "slo.breach")
 	if _, _, err := truthClient.FetchRawContext(bctx, ObjectKey(dataset, codec, degStep), array); err != nil {
 		bspan.End()
