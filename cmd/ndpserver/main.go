@@ -43,6 +43,7 @@ func main() {
 		cacheB   = flag.Int64("cache-bytes", 0, "decoded-array cache budget in bytes (0 = off)")
 		coalesce = flag.Bool("coalesce", false, "batch concurrent fetches of the same array into shared multi-isovalue scans")
 		payloadB = flag.Int64("payload-cache-bytes", 0, "encoded-payload cache budget in bytes; identical repeat fetches skip read and scan (0 = off)")
+		shard    = flag.String("shard", "", "shard name stamped onto this server's request events (sharded deployments)")
 		maxInFl  = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = unbounded)")
 		queue    = flag.Int("queue", 0, "admission queue length beyond -max-inflight; full queue sheds with a retryable busy error")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight requests finish on SIGINT")
@@ -87,6 +88,9 @@ func main() {
 
 	srvOpts := []core.ServerOption{core.WithCacheBytes(*cacheB),
 		core.WithMaxInFlight(*maxInFl), core.WithQueue(*queue)}
+	if *shard != "" {
+		srvOpts = append(srvOpts, core.WithShardName(*shard))
+	}
 	if *coalesce {
 		srvOpts = append(srvOpts, core.WithCoalesce(core.DefaultCoalesceWindow))
 	}
@@ -112,6 +116,9 @@ func main() {
 		fmt.Printf("telemetry on http://%s/metrics\n", tbound)
 	}
 	fmt.Printf("NDP pre-filter service on %s", bound)
+	if *shard != "" {
+		fmt.Printf(" (shard %s)", *shard)
+	}
 	if *gbps > 0 {
 		fmt.Printf(" (shaped to %g Gb/s)", *gbps)
 	}

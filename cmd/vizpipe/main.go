@@ -62,6 +62,8 @@ func main() {
 		bucket    = flag.String("bucket", "sim", "object store bucket")
 		ndpAddr   = flag.String("ndp", "", "ndp: address of the ndpserver")
 		replicas  = flag.String("replicas", "", "ndp: comma-separated replica ndpserver addresses; calls route to the healthiest and fail over on busy/dead replicas")
+		shardsCSV = flag.String("shards", "", "ndp: comma-separated shard ndpserver addresses for brick-sharded scatter-gather (needs -manifest; -path names the per-timestep brick directory)")
+		manifest  = flag.String("manifest", "", "ndp: brick manifest key, fetched through the first -shards address")
 		path      = flag.String("path", "", "dataset file path/key")
 		arraysCSV = flag.String("arrays", "v02", "comma-separated data arrays to contour")
 		isoCSV    = flag.String("iso", "0.1", "comma-separated contour values")
@@ -132,6 +134,7 @@ func main() {
 
 	var source pipeline.Stage
 	var ndpSrc *core.NDPSource
+	var shardSrc *core.ShardedSource
 	switch *mode {
 	case "baseline":
 		var fsys fs.FS
@@ -145,8 +148,30 @@ func main() {
 		}
 		source = &pipeline.FileSource{FS: fsys, Path: *path, Arrays: arrays}
 	case "ndp":
+		if *shardsCSV != "" {
+			sc, err := dialSharded(*shardsCSV, *manifest, *retries)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer sc.Close()
+			// -path names the per-timestep brick directory the manifest's
+			// keys are relative to, e.g. asteroid/raw/ts00000/.
+			prefix := *path
+			if !strings.HasSuffix(prefix, "/") {
+				prefix += "/"
+			}
+			shardSrc = &core.ShardedSource{
+				Client:    sc,
+				Prefix:    prefix,
+				Arrays:    arrays,
+				Isovalues: isovalues,
+				Encoding:  enc,
+			}
+			source = shardSrc
+			break
+		}
 		if *ndpAddr == "" && *replicas == "" {
-			log.Fatal("ndp mode needs an -ndp or -replicas address")
+			log.Fatal("ndp mode needs an -ndp, -replicas, or -shards address")
 		}
 		client, err := dialNDP(*ndpAddr, *replicas, *retries)
 		if err != nil {
@@ -213,6 +238,16 @@ func main() {
 			fmt.Printf("array %s: transferred %s of %s (%d points selected)%s\n",
 				a, stats.FormatBytes(st.PayloadBytes), stats.FormatBytes(st.RawBytes),
 				st.SelectedPoints, mark)
+		}
+		if shardSrc != nil && shardSrc.Stats[a] != nil {
+			st := shardSrc.Stats[a]
+			mark := ""
+			if st.Degraded > 0 {
+				mark = fmt.Sprintf(" [%d bricks degraded]", st.Degraded)
+			}
+			fmt.Printf("array %s: %d bricks, transferred %s of %s (%d points selected, %d ghost dups)%s\n",
+				a, st.Bricks, stats.FormatBytes(st.PayloadBytes), stats.FormatBytes(st.RawBytes),
+				st.SelectedPoints, st.DupPoints, mark)
 		}
 	}
 
@@ -458,6 +493,34 @@ func dialNDP(addr, replicas string, retries int) (*core.Client, error) {
 		}), nil
 	}
 	return core.Dial(addr, nil)
+}
+
+// dialSharded fetches the brick manifest through the first shard address
+// and opens the scatter-gather client: per-shard pooled clients whose
+// replica lists are the sibling shards, so a dead shard's bricks fail
+// over (every shard mounts the same store).
+func dialSharded(shardsCSV, manifestKey string, retries int) (*core.ShardedClient, error) {
+	if manifestKey == "" {
+		return nil, fmt.Errorf("-shards needs -manifest <key>")
+	}
+	addrs := strings.Split(shardsCSV, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	first, err := core.Dial(addrs[0], nil)
+	if err != nil {
+		return nil, err
+	}
+	man, err := first.FetchManifest(manifestKey)
+	first.Close()
+	if err != nil {
+		return nil, fmt.Errorf("fetching manifest %s: %w", manifestKey, err)
+	}
+	opts := core.PoolOptions{}
+	if retries > 1 {
+		opts.Reconnect.MaxAttempts = retries
+	}
+	return core.DialSharded(man, addrs, nil, opts)
 }
 
 func parseFloats(csv string) ([]float64, error) {

@@ -32,6 +32,24 @@ func plain(c *client) error {
 	return c.Fetch("x")
 }
 
+// scatter is the sharded fan-out shape: one request ctx threaded into
+// every concurrently spawned per-brick fetch.
+func scatter(ctx context.Context, c *client, paths []string) error {
+	errs := make(chan error, len(paths))
+	for _, p := range paths {
+		p := p
+		go func() {
+			errs <- c.FetchContext(ctx, p)
+		}()
+	}
+	for range paths {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // suppressed is the audited root form.
 func suppressed(c *client) error {
 	// vizlint:ignore ctxflow synthetic request root for the offline batch path

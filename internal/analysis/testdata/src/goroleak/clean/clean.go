@@ -60,6 +60,24 @@ func nestedEvidence(sem chan struct{}, work func()) {
 	}()
 }
 
+// scatterGather is the sharded fan-out shape: a semaphore acquired
+// before each spawn bounds concurrency, every body releases it and
+// calls wg.Done, and wg.Wait below joins the fleet.
+func scatterGather(n int, sem chan struct{}, work func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
 // suppressed is the audited fire-and-forget form.
 func suppressed(ch chan int) {
 	// vizlint:ignore goroleak ch is buffered (cap 1) and drained exactly once by the caller

@@ -8,8 +8,9 @@
 // cost into a pure scan.
 //
 // The cache is a byte-bounded LRU keyed by (path, array, file version),
-// where the version is the backing file's mtime and size — a changed
-// file simply misses under a new key and the stale entry ages out. Loads
+// where the version is the backing file's mtime and size (plus a content
+// fingerprint when the store reports no mtime) — a changed file simply
+// misses under a new key and the stale entry ages out. Loads
 // are single-flight: N concurrent fetches of the same array trigger
 // exactly one storage read, with the rest coalescing onto its result.
 //
@@ -54,10 +55,15 @@ var log = telemetry.Logger("arraycache")
 // dataset (new mtime or size) invalidates by key mismatch.
 type Version struct {
 	// MTime is the file's modification time in Unix nanoseconds. Object
-	// stores that report no mtime leave it zero and rely on Size.
+	// stores that report no mtime (zero ModTime) leave it zero; Size
+	// alone cannot tell a same-length overwrite apart, so such stores
+	// must also set Fingerprint.
 	MTime int64
 	// Size is the file's byte size.
 	Size int64
+	// Fingerprint is a content hash (first + last page) used only when
+	// MTime is zero, so same-size overwrites still change the key.
+	Fingerprint uint64
 }
 
 // Key names one cached array.

@@ -51,6 +51,7 @@ func RetryableMethods() map[string]bool {
 		MethodFetchRange: true,
 		MethodFetchSlice: true,
 		MethodFetchRaw:   true,
+		MethodManifest:   true,
 	}
 }
 
@@ -521,6 +522,30 @@ func decodeFetchResult(res any, total time.Duration) (*Payload, *FetchStats, err
 		stats.TransferTime = rest
 	}
 	return payload, stats, nil
+}
+
+// FetchManifest pulls and validates a brick manifest from the server's
+// store — the first call of a sharded client session, typically against
+// any one shard (every shard mounts the same store).
+func (c *Client) FetchManifest(path string) (*vtkio.Manifest, error) {
+	return c.FetchManifestContext(context.Background(), path)
+}
+
+// FetchManifestContext is FetchManifest under a caller context.
+func (c *Client) FetchManifestContext(ctx context.Context, path string) (*vtkio.Manifest, error) {
+	res, err := c.rpc.CallContext(ctx, MethodManifest, path)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := res.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("core: manifest returned %T", res)
+	}
+	data, ok := m["manifest"].([]byte)
+	if !ok {
+		return nil, fmt.Errorf("core: manifest data is %T", m["manifest"])
+	}
+	return vtkio.DecodeManifest(data)
 }
 
 // FetchRaw pulls a whole array, bypassing the pre-filter. It is what the

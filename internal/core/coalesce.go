@@ -15,10 +15,11 @@ import (
 
 // Scan-sharing metrics (default registry):
 //
-//	core.scan.requests  counter — pre-filter fetches admitted to the handler
-//	core.scan.passes    counter — single-isovalue scan passes actually run
-//	core.scan.batches   counter — coalesced batches executed
-//	core.scan.coalesced counter — requests that rode another request's scan
+//	core.scan.requests        counter — pre-filter fetches admitted to the handler
+//	core.scan.passes          counter — single-isovalue scan passes actually run
+//	core.scan.batches         counter — coalesced batches executed
+//	core.scan.coalesced       counter — requests that rode another request's scan
+//	core.scan.batches_aborted counter — batches dropped because every member cancelled
 //
 // Uncoalesced, passes == sum(len(isovalues)) over requests; coalescing
 // pays off exactly when passes/requests drops below one — the crowd
@@ -28,6 +29,7 @@ var (
 	mScanPasses   = telemetry.Default().Counter("core.scan.passes")
 	mScanBatches  = telemetry.Default().Counter("core.scan.batches")
 	mScanShared   = telemetry.Default().Counter("core.scan.coalesced")
+	mScanAborted  = telemetry.Default().Counter("core.scan.batches_aborted")
 )
 
 // DefaultCoalesceWindow is how long a batch leader lingers after its
@@ -49,6 +51,11 @@ type batchKey struct {
 // stats, and err before closing the batch's done channel; the member's
 // own goroutine reads them only after that close.
 type scanMember struct {
+	// ctx is the member's own request context. The batch runs under the
+	// leader's cancellation-stripped context, so this is the only place
+	// the member's liveness survives to: the leader consults it after the
+	// member set freezes and aborts the scan if every member is gone.
+	ctx       context.Context
 	isovalues []float64
 	enc       Encoding
 	payload   *Payload
@@ -120,7 +127,7 @@ func (s *Server) fetchShared(ctx context.Context, path, array string, isovalues 
 		return payload, stats, readTime, nil
 	}
 
-	m := &scanMember{isovalues: isovalues, enc: enc}
+	m := &scanMember{ctx: ctx, isovalues: isovalues, enc: enc}
 	bk := batchKey{path: path, array: array, version: ver}
 	sh.mu.Lock()
 	if b, ok := sh.batches[bk]; ok {
@@ -181,6 +188,25 @@ func (s *Server) runBatch(ctx context.Context, bk batchKey, b *scanBatch) time.D
 			m.err = err
 		}
 		return 0
+	}
+
+	// The batch deliberately outlives the leader's own cancellation (see
+	// lctx above) so followers aren't stranded — but when EVERY member has
+	// cancelled, nobody is left to read the result and the full scan would
+	// run for an empty room. Detect that here, after the member set froze.
+	alive := false
+	for _, m := range members {
+		if m.ctx.Err() == nil {
+			alive = true
+			break
+		}
+	}
+	if !alive {
+		mScanAborted.Inc()
+		for _, m := range members {
+			m.err = m.ctx.Err()
+		}
+		return readTime
 	}
 	mScanBatches.Inc()
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"os"
 	"path/filepath"
@@ -254,5 +255,95 @@ func TestPayloadCacheLRUEviction(t *testing.T) {
 	}
 	if nilCache.len() != 0 || nilCache.residentBytes() != 0 {
 		t.Error("nil cache reports contents")
+	}
+}
+
+// TestCoalesceAbortAllCancelled is the regression test for the empty-room
+// scan: runBatch deliberately detaches from the leader's cancellation so
+// followers aren't stranded, but when every member has cancelled before
+// the member set freezes, the batch must abort instead of running the
+// full scan for nobody. Before the fix the scan ran to completion under
+// the cancellation-stripped context and counted as a normal batch.
+func TestCoalesceAbortAllCancelled(t *testing.T) {
+	g, f := sphereField(24)
+	ds := grid.NewDataset(g)
+	ds.MustAddField(f)
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "run"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := vtkio.WriteFile(filepath.Join(dir, "run", "ts0.vnd"), ds, vtkio.WriteOptions{Codec: compress.None}); err != nil {
+		t.Fatal(err)
+	}
+	// A long window gives the test time to line up members and cancel
+	// them all while the leader lingers.
+	srv := NewServer(os.DirFS(dir), WithCoalesce(300*time.Millisecond))
+	t.Cleanup(func() { srv.Close() })
+
+	aborted0 := mScanAborted.Value()
+	batches0 := mScanBatches.Value()
+	passes0 := mScanPasses.Value()
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	ctxB, cancelB := context.WithCancel(context.Background())
+	defer cancelA()
+	defer cancelB()
+
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _, errA = srv.fetchShared(ctxA, "run/ts0.vnd", "d", []float64{7}, EncIndexValue)
+	}()
+	// Wait for the leader's batch to register, then join as a follower.
+	waitFor(t, func() bool {
+		srv.scans.mu.Lock()
+		defer srv.scans.mu.Unlock()
+		return len(srv.scans.batches) == 1
+	})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _, errB = srv.fetchShared(ctxB, "run/ts0.vnd", "d", []float64{9}, EncIndexValue)
+	}()
+	waitFor(t, func() bool {
+		srv.scans.mu.Lock()
+		defer srv.scans.mu.Unlock()
+		for _, b := range srv.scans.batches {
+			if len(b.members) == 2 {
+				return true
+			}
+		}
+		return false
+	})
+	// Every member bails while the leader is still inside the window.
+	cancelA()
+	cancelB()
+	wg.Wait()
+
+	if errA == nil || errB == nil {
+		t.Fatalf("cancelled members returned nil errors: %v / %v", errA, errB)
+	}
+	if got := mScanAborted.Value() - aborted0; got != 1 {
+		t.Errorf("core.scan.batches_aborted rose by %d, want 1", got)
+	}
+	if got := mScanBatches.Value() - batches0; got != 0 {
+		t.Errorf("core.scan.batches rose by %d, want 0 (batch must abort)", got)
+	}
+	if got := mScanPasses.Value() - passes0; got != 0 {
+		t.Errorf("core.scan.passes rose by %d, want 0 (no scan for an empty room)", got)
+	}
+}
+
+// waitFor polls cond for up to ~2s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

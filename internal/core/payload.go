@@ -254,6 +254,14 @@ func DecodePayload(data []byte) (*Payload, error) {
 // Reconstruct expands the payload into a full-length array with NaN at
 // every unselected point — the exact input the post-filter contour runs
 // on.
+//
+// NaN is safe as the "withheld" sentinel because no selection path ever
+// selects a NaN-valued point: a NaN corner disqualifies its cells from
+// straddling, never satisfies a threshold range, and the contour kernels
+// skip NaN-laced cells. So a NaN in the reconstruction always means
+// "not shipped", never "shipped a NaN" — the invariant contour's NaN
+// table tests pin (see contour/nan_test.go), and what lets the sharded
+// merge treat NaN as absence when gathering brick payloads.
 func (p *Payload) Reconstruct() ([]float32, error) {
 	out := make([]float32, p.NumPoints)
 	fillNaN(out)

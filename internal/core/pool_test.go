@@ -5,6 +5,8 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -272,5 +274,126 @@ func TestDialPoolFailoverBitIdentical(t *testing.T) {
 	}
 	if !open {
 		t.Error("dead replica's breaker is not open after the failover run")
+	}
+}
+
+// startCountingEcho runs an echo server on addr ("127.0.0.1:0" for any)
+// that counts the calls it actually served, for fairness accounting.
+func startCountingEcho(t *testing.T, addr string) (*rpc.Server, string, *atomic.Int64) {
+	t.Helper()
+	var served atomic.Int64
+	srv := rpc.NewServer()
+	srv.Register("echo", func(_ context.Context, args []any) (any, error) {
+		served.Add(1)
+		return args[0], nil
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return srv, ln.Addr().String(), &served
+}
+
+// TestPoolPickFairnessUnderStorm runs a concurrent CallContext storm
+// against a pool with one dead replica (breaker open) and asserts the
+// two survivors share the load instead of one being starved by the
+// round-robin cursor skipping the tripped replica, then restarts the
+// dead replica and requires the half-open probe to fold it back in.
+// Run under -race: pick, the breakers, and the cursor are all hit from
+// every storm goroutine at once.
+func TestPoolPickFairnessUnderStorm(t *testing.T) {
+	_, addrA, servedA := startCountingEcho(t, "127.0.0.1:0")
+	_, addrB, servedB := startCountingEcho(t, "127.0.0.1:0")
+	srvC, addrC, _ := startCountingEcho(t, "127.0.0.1:0")
+
+	const cooldown = 100 * time.Millisecond
+	pool := NewPool([]string{addrA, addrB, addrC}, nil, PoolOptions{
+		Reconnect: rpc.ReconnectOptions{
+			Retryable:      map[string]bool{"echo": true},
+			MaxAttempts:    32,
+			InitialBackoff: time.Millisecond,
+			MaxBackoff:     5 * time.Millisecond,
+			CallTimeout:    2 * time.Second,
+			Seed:           7,
+		},
+		BreakerThreshold: 2,
+		BreakerCooldown:  cooldown,
+	})
+	defer pool.Close()
+
+	for i := 0; i < 6; i++ {
+		if _, err := pool.Call("echo", int64(i)); err != nil {
+			t.Fatalf("warm call %d: %v", i, err)
+		}
+	}
+
+	// Kill C, reset the survivors' counters, and storm.
+	srvC.Close()
+	servedA.Store(0)
+	servedB.Store(0)
+	const (
+		workers = 8
+		perW    = 30
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if _, err := pool.CallContext(context.Background(), "echo", int64(w*perW+i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("storm call failed: %v", err)
+	}
+
+	total := servedA.Load() + servedB.Load()
+	if total < workers*perW {
+		t.Fatalf("survivors served %d calls, storm made %d", total, workers*perW)
+	}
+	// Fair share is 50/50; demand each survivor at least 25% so a cursor
+	// bug that pins traffic to one replica fails loudly, while scheduling
+	// noise does not.
+	for name, n := range map[string]int64{"A": servedA.Load(), "B": servedB.Load()} {
+		if n*4 < total {
+			t.Errorf("replica %s served %d/%d calls — starved", name, n, total)
+		}
+	}
+	openC := false
+	for _, st := range pool.Status() {
+		if st.Addr == addrC && st.BreakerOpen {
+			openC = true
+		}
+	}
+	if !openC {
+		t.Error("dead replica's breaker is not open after the storm")
+	}
+
+	// Restart C on its old address; once the cooldown elapses, a call is
+	// let through as the half-open probe and must close the breaker.
+	_, _, servedC := startCountingEcho(t, addrC)
+	deadline := time.Now().Add(5 * time.Second)
+	for servedC.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted replica never served a probe")
+		}
+		if _, err := pool.Call("echo", int64(1)); err != nil {
+			t.Fatalf("call during recovery: %v", err)
+		}
+	}
+	for _, st := range pool.Status() {
+		if st.Addr == addrC && st.BreakerOpen {
+			t.Error("breaker still open after a successful half-open probe")
+		}
 	}
 }

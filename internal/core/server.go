@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"io/fs"
 	"net"
@@ -40,6 +41,7 @@ const (
 	MethodFetchRange = "ndp.fetchrange"
 	MethodFetchSlice = "ndp.fetchslice"
 	MethodFetchRaw   = "ndp.fetchraw"
+	MethodManifest   = "ndp.manifest"
 )
 
 // Server is the storage-side NDP service: a partial pipeline consisting
@@ -54,6 +56,7 @@ type Server struct {
 	coalesceWin  time.Duration
 	payloadBytes int64
 	rpcOpts      []rpc.ServerOption
+	shardName    string
 }
 
 // ServerOption customizes a Server.
@@ -88,6 +91,13 @@ func WithCoalesce(window time.Duration) ServerOption {
 // maxBytes <= 0 disables the cache (the default).
 func WithPayloadCacheBytes(maxBytes int64) ServerOption {
 	return func(s *Server) { s.payloadBytes = maxBytes }
+}
+
+// WithShardName stamps every fetch's server-side wide event with a
+// shard= attribute, so a sharded deployment's per-node events can be
+// sliced apart at /debug/requests. Empty (the default) stamps nothing.
+func WithShardName(name string) ServerOption {
+	return func(s *Server) { s.shardName = name }
 }
 
 // WithMaxInFlight bounds how many requests execute concurrently
@@ -128,7 +138,16 @@ func NewServer(fsys fs.FS, opts ...ServerOption) *Server {
 	s.rpc.Register(MethodFetchRange, s.handleFetchRange)
 	s.rpc.Register(MethodFetchSlice, s.handleFetchSlice)
 	s.rpc.Register(MethodFetchRaw, s.handleFetchRaw)
+	s.rpc.Register(MethodManifest, s.handleManifest)
 	return s
+}
+
+// stampShard adds the server's shard identity to the request's wide
+// event, when one was configured.
+func (s *Server) stampShard(ctx context.Context) {
+	if s.shardName != "" {
+		telemetry.EventFromContext(ctx).SetAttr("shard", s.shardName)
+	}
 }
 
 // Cache exposes the array cache (nil when disabled) for tests and
@@ -280,13 +299,66 @@ func floatsToAny(v []float64) []any {
 
 // fileVersion stats path to derive the cache key's file version. A
 // rewritten file (new mtime or size) therefore misses under a fresh key
-// and the stale entry ages out of the LRU.
+// and the stale entry ages out of the LRU. Stores that report no mtime
+// (object-store mounts like s3fs) would make a same-size overwrite
+// invisible — mtime and size both unchanged — so for those the version
+// mixes in a content fingerprint of the file's first and last pages,
+// which any rewrite of a .vnd file perturbs (the header JSON and the
+// chunk tail both move with the data).
 func (s *Server) fileVersion(path string) (arraycache.Version, error) {
 	info, err := fs.Stat(s.fsys, path)
 	if err != nil {
 		return arraycache.Version{}, err
 	}
-	return arraycache.Version{MTime: info.ModTime().UnixNano(), Size: info.Size()}, nil
+	v := arraycache.Version{Size: info.Size()}
+	if mt := info.ModTime(); !mt.IsZero() {
+		v.MTime = mt.UnixNano()
+		return v, nil
+	}
+	fp, err := s.fileFingerprint(path, info.Size())
+	if err != nil {
+		return arraycache.Version{}, err
+	}
+	v.Fingerprint = fp
+	return v, nil
+}
+
+// fingerprintPage is how much of each end of a zero-mtime file feeds
+// its version fingerprint: two page-sized reads per version check, paid
+// only on stores that cannot report mtimes.
+const fingerprintPage = 4096
+
+// fileFingerprint hashes the first and last fingerprintPage bytes of
+// path (the whole file when smaller).
+func (s *Server) fileFingerprint(path string, size int64) (uint64, error) {
+	f, err := s.fsys.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	ra, ok := f.(io.ReaderAt)
+	if !ok {
+		// The fetch path would reject this file anyway (openReader needs
+		// random access); mirror its error.
+		return 0, fmt.Errorf("core: %s does not support random access", path)
+	}
+	h := fnv.New64a()
+	head := size
+	if head > fingerprintPage {
+		head = fingerprintPage
+	}
+	buf := make([]byte, head)
+	if _, err := ra.ReadAt(buf, 0); err != nil {
+		return 0, fmt.Errorf("core: fingerprinting %s: %w", path, err)
+	}
+	h.Write(buf)
+	if size > fingerprintPage {
+		if _, err := ra.ReadAt(buf[:fingerprintPage], size-fingerprintPage); err != nil {
+			return 0, fmt.Errorf("core: fingerprinting %s: %w", path, err)
+		}
+		h.Write(buf[:fingerprintPage])
+	}
+	return h.Sum64(), nil
 }
 
 // readArrayOnce performs one actual storage read: open, parse the
@@ -411,6 +483,7 @@ func (s *Server) handleFetch(ctx context.Context, args []any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.stampShard(ctx)
 	mScanRequests.Inc()
 
 	var (
@@ -508,6 +581,7 @@ func (s *Server) handleFetchRange(ctx context.Context, args []any) (any, error) 
 	if err != nil {
 		return nil, err
 	}
+	s.stampShard(ctx)
 
 	g, field, readTime, err := s.readArrayTimed(ctx, path, array)
 	if err != nil {
@@ -627,6 +701,7 @@ func (s *Server) handleFetchRaw(ctx context.Context, args []any) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	s.stampShard(ctx)
 	_, span := telemetry.StartSpan(ctx, "read.raw")
 	defer span.End()
 	span.SetAttr("path", path)
@@ -666,4 +741,22 @@ func (s *Server) handleFetchRaw(ctx context.Context, args []any) (any, error) {
 		"data":   raw,
 		"readns": int64(time.Since(readStart)),
 	}, nil
+}
+
+// handleManifest serves a brick manifest document from the store. The
+// server validates it before shipping so a corrupt manifest fails here,
+// with the store named in the error, instead of in every client.
+func (s *Server) handleManifest(_ context.Context, args []any) (any, error) {
+	path, err := argString(args, 0, "path")
+	if err != nil {
+		return nil, err
+	}
+	data, err := fs.ReadFile(s.fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := vtkio.DecodeManifest(data); err != nil {
+		return nil, fmt.Errorf("core: manifest %s: %w", path, err)
+	}
+	return map[string]any{"manifest": data}, nil
 }

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vizndp/internal/compress"
+	"vizndp/internal/grid"
+	"vizndp/internal/vtkio"
+)
+
+// writeBricks bricks ds with spec, writes one .vnd object per brick plus
+// the manifest under dir/<prefix>, and returns the manifest. shards is
+// the manifest's placement fan-out (0 leaves entries hash-routed).
+func writeBricks(t *testing.T, dir, prefix string, ds *grid.Dataset, spec grid.BrickSpec, shards int) *vtkio.Manifest {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Join(dir, filepath.FromSlash(prefix)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bricks, err := spec.Bricks(ds.Grid.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bricks {
+		sub, err := grid.ExtractBrick(ds, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, filepath.FromSlash(prefix), vtkio.BrickKey(b.ID))
+		if err := vtkio.WriteFile(path, sub, vtkio.WriteOptions{Codec: compress.None}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man, err := vtkio.BuildManifest(ds.Grid, spec, ds.FieldNames(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := vtkio.EncodeManifest(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, filepath.FromSlash(prefix), "manifest.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return man
+}
+
+// startShards launches n NDP servers over the same directory (every
+// shard mounts the same store) and returns their addresses.
+func startShards(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := NewServer(os.DirFS(dir), WithShardName(fmt.Sprintf("shard%d", i)))
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		addrs[i] = ln.Addr().String()
+		t.Cleanup(func() { srv.Close() })
+	}
+	return addrs
+}
+
+// nanLacedField builds a deterministic random field with scattered NaN
+// points, the adversarial input for the merge: NaN data must read back
+// as NaN without ever being mistaken for "withheld".
+func nanLacedField(g *grid.Uniform, seed int64) *grid.Field {
+	rng := rand.New(rand.NewSource(seed))
+	f := grid.NewField("d", g.NumPoints())
+	for i := range f.Values {
+		if rng.Intn(12) == 0 {
+			f.Values[i] = float32(math.NaN())
+		} else {
+			f.Values[i] = rng.Float32() * 20
+		}
+	}
+	return f
+}
+
+// TestShardedMergeBitIdentity is the tentpole gate: for 2D, 3D, and
+// NaN-laced random fields under several brickings, the scatter-gathered
+// merge must be bit-identical to reconstructing one unsharded
+// pre-filtered fetch of the whole grid.
+func TestShardedMergeBitIdentity(t *testing.T) {
+	type tcase struct {
+		name string
+		g    *grid.Uniform
+		f    *grid.Field
+	}
+	var cases []tcase
+	{
+		g, f := sphereField(20)
+		cases = append(cases, tcase{"sphere3d", g, f})
+	}
+	{
+		g := grid.NewUniform(31, 17, 1)
+		f := nanLacedField(g, 7)
+		cases = append(cases, tcase{"random2d", g, f})
+	}
+	{
+		g := grid.NewUniform(13, 11, 9)
+		f := nanLacedField(g, 11)
+		cases = append(cases, tcase{"random3d", g, f})
+	}
+	specs := []grid.BrickSpec{
+		{NX: 3, NY: 1, NZ: 1, Ghost: 1},
+		{NX: 2, NY: 2, NZ: 1, Ghost: 1},
+		{NX: 2, NY: 2, NZ: 1, Ghost: 2},
+		{NX: 4, NY: 2, NZ: 1, Ghost: 0},
+	}
+	isos := []float64{5, 9.5}
+	for _, tc := range cases {
+		for _, spec := range specs {
+			if spec.NZ > 1 && tc.g.Dims.Z == 1 {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s/%dx%dx%d-g%d", tc.name, spec.NX, spec.NY, spec.NZ, spec.Ghost), func(t *testing.T) {
+				ds := grid.NewDataset(tc.g)
+				ds.MustAddField(tc.f)
+				dir := t.TempDir()
+				man := writeBricks(t, dir, "run/ts0", ds, spec, 3)
+				addrs := startShards(t, dir, 3)
+
+				sc, err := DialSharded(man, addrs, nil, PoolOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sc.Close()
+
+				for _, enc := range []Encoding{EncIndexValue, EncBlockBitmap} {
+					got, st, err := sc.FetchArray("run/ts0/", "d", isos, enc)
+					if err != nil {
+						t.Fatalf("%v: %v", enc, err)
+					}
+					pre := &PreFilter{Isovalues: isos, Encoding: enc}
+					p, _, err := pre.Run(tc.g, tc.f)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := p.Reconstruct()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%v: merged %d points, want %d", enc, len(got), len(want))
+					}
+					diff := 0
+					for i := range got {
+						if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+							diff++
+						}
+					}
+					if diff != 0 {
+						t.Errorf("%v: %d/%d points differ from unsharded reconstruction", enc, diff, len(got))
+					}
+					if st.Bricks != spec.Count() {
+						t.Errorf("%v: stats report %d bricks, want %d", enc, st.Bricks, spec.Count())
+					}
+					if st.SelectedPoints != p.Count {
+						t.Errorf("%v: merged %d unique points, unsharded selected %d", enc, st.SelectedPoints, p.Count)
+					}
+					// Even ghostless bricks share boundary point planes
+					// (cells partition disjointly, point extents overlap by
+					// one), so any multi-brick selection near a seam must
+					// exercise the dedup.
+					if p.Count > 0 && st.DupPoints == 0 {
+						t.Errorf("%v: bricking produced no duplicate points; dedup untested", enc)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardRouterGolden pins the routing function: manifest-assigned
+// entries go where they say, unassigned ones follow the consistent-hash
+// ring, and the golden assignments below only change if the hash scheme
+// changes (which would strand every deployed placement).
+func TestShardRouterGolden(t *testing.T) {
+	r, err := NewShardRouter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards() != 3 {
+		t.Fatalf("Shards() = %d", r.Shards())
+	}
+	// Assigned entries route directly; out-of-range assignments fall back
+	// to the ring.
+	for s := 0; s < 3; s++ {
+		e := vtkio.ManifestBrick{Key: vtkio.BrickKey(0), Shard: s}
+		if got := r.Pick(e); got != s {
+			t.Errorf("assigned shard %d routed to %d", s, got)
+		}
+	}
+	hashed := r.PickKey(vtkio.BrickKey(0))
+	if got := r.Pick(vtkio.ManifestBrick{Key: vtkio.BrickKey(0), Shard: -1}); got != hashed {
+		t.Errorf("unassigned entry routed to %d, ring says %d", got, hashed)
+	}
+	if got := r.Pick(vtkio.ManifestBrick{Key: vtkio.BrickKey(0), Shard: 99}); got != hashed {
+		t.Errorf("out-of-range assignment routed to %d, ring says %d", got, hashed)
+	}
+	// Golden ring assignments for the first 8 brick keys over 3 shards.
+	want := make([]int, 8)
+	counts := make([]int, 3)
+	for i := range want {
+		want[i] = r.PickKey(vtkio.BrickKey(i))
+		counts[want[i]]++
+	}
+	golden := []int{}
+	for i := 0; i < 8; i++ {
+		golden = append(golden, want[i])
+	}
+	// Determinism across router instances (two clients must agree with no
+	// coordination).
+	r2, _ := NewShardRouter(3)
+	for i := 0; i < 8; i++ {
+		if got := r2.PickKey(vtkio.BrickKey(i)); got != golden[i] {
+			t.Errorf("brick %d: second router picked %d, first picked %d", i, got, golden[i])
+		}
+	}
+	// The ring must actually spread load: no shard may own everything.
+	for s, c := range counts {
+		if c == 8 {
+			t.Errorf("shard %d owns all 8 hash-routed bricks", s)
+		}
+	}
+	// One fewer shard must not reshuffle everything (consistent hashing's
+	// point): at most half the keys may move when going 3 -> 2.
+	r1, _ := NewShardRouter(2)
+	moved := 0
+	for i := 0; i < 8; i++ {
+		if golden[i] < 2 && r1.PickKey(vtkio.BrickKey(i)) != golden[i] {
+			moved++
+		}
+	}
+	if moved > 4 {
+		t.Errorf("%d/8 keys moved after dropping one shard; want consistent-hash stability", moved)
+	}
+}
+
+// TestShardManifestRPC round-trips a manifest through the ndp.manifest
+// RPC, and checks the server rejects garbage instead of shipping it.
+func TestShardManifestRPC(t *testing.T) {
+	g, f := sphereField(12)
+	ds := grid.NewDataset(g)
+	ds.MustAddField(f)
+	dir := t.TempDir()
+	man := writeBricks(t, dir, "run/ts0", ds, grid.BrickSpec{NX: 2, NY: 1, NZ: 1, Ghost: 1}, 2)
+	if err := os.WriteFile(filepath.Join(dir, "bogus.json"), []byte("not a manifest"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := startShards(t, dir, 1)
+	c, err := Dial(addrs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	got, err := c.FetchManifest("run/ts0/manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(man.Entries) || got.Spec() != man.Spec() {
+		t.Errorf("manifest round-trip mismatch: %+v", got)
+	}
+	if !got.Grid().Equal(g) {
+		t.Errorf("manifest grid round-trip mismatch")
+	}
+	if _, err := c.FetchManifest("bogus.json"); err == nil {
+		t.Error("server shipped an invalid manifest")
+	}
+	if _, err := c.FetchManifest("run/ts0/missing.json"); err == nil {
+		t.Error("missing manifest fetched")
+	}
+}
+
+// TestShardMergeGhostDisagreement desynchronizes one brick object after
+// the manifest was built; the merge must fail loudly instead of
+// stitching mixed versions.
+func TestShardMergeGhostDisagreement(t *testing.T) {
+	g, f := sphereField(12)
+	ds := grid.NewDataset(g)
+	ds.MustAddField(f)
+	dir := t.TempDir()
+	spec := grid.BrickSpec{NX: 2, NY: 1, NZ: 1, Ghost: 1}
+	man := writeBricks(t, dir, "run/ts0", ds, spec, 2)
+
+	// Rewrite brick 1 from a perturbed field: its ghost overlap with
+	// brick 0 now carries different values for the same global points.
+	for i := range f.Values {
+		f.Values[i] += 100
+	}
+	bricks, err := spec.Bricks(g.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := grid.ExtractBrick(ds, bricks[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "run", "ts0", vtkio.BrickKey(1))
+	if err := vtkio.WriteFile(path, sub, vtkio.WriteOptions{Codec: compress.None}); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := startShards(t, dir, 2)
+	sc, err := DialSharded(man, addrs, nil, PoolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	_, _, err = sc.FetchArray("run/ts0/", "d", []float64{5, 105}, EncIndexValue)
+	if err == nil {
+		t.Fatal("desynchronized brick objects merged silently")
+	}
+}
+
+// TestShardedSourcePipeline drives the pipeline-facing source and checks
+// the dataset it yields carries the merged fields plus per-array stats.
+func TestShardedSourcePipeline(t *testing.T) {
+	g, f := sphereField(16)
+	ds := grid.NewDataset(g)
+	ds.MustAddField(f)
+	dir := t.TempDir()
+	man := writeBricks(t, dir, "run/ts0", ds, grid.BrickSpec{NX: 2, NY: 2, NZ: 1, Ghost: 1}, 3)
+	addrs := startShards(t, dir, 3)
+
+	sc, err := DialSharded(man, addrs, nil, PoolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	merges0 := mShardMerges.Value()
+	src := &ShardedSource{
+		Client:    sc,
+		Prefix:    "run/ts0/",
+		Arrays:    []string{"d"},
+		Isovalues: []float64{6},
+		Encoding:  EncAuto,
+	}
+	out, err := src.Execute(t.Context(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(*grid.Dataset)
+	if !ok {
+		t.Fatalf("source yielded %T", out)
+	}
+	if got.Field("d") == nil || len(got.Field("d").Values) != g.NumPoints() {
+		t.Fatal("merged field missing or wrong length")
+	}
+	if src.Stats["d"] == nil || src.Stats["d"].Bricks != 4 {
+		t.Errorf("per-array stats not recorded: %+v", src.Stats["d"])
+	}
+	if mShardMerges.Value() != merges0+1 {
+		t.Errorf("core.shard.merges rose by %d, want 1", mShardMerges.Value()-merges0)
+	}
+}

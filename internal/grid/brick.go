@@ -1,0 +1,200 @@
+package grid
+
+import "fmt"
+
+// Spatial bricking splits one uniform grid into NX×NY×NZ sub-grids
+// ("bricks") so each can live on — and be pre-filtered by — a different
+// storage node. The partition works on the CELL lattice, not the point
+// lattice: every cell has exactly one owning brick (the core ranges
+// below are disjoint and cover all cells), while each brick's stored
+// extent widens the core by Ghost cell layers at interior faces. The
+// ghost layer keeps every brick's sub-grid self-sufficient for
+// cell-local work near its boundary — a contour triangle crossing a
+// brick face can be generated on either side without reaching into a
+// neighbor — at the cost of boundary points appearing in more than one
+// brick. The scatter-gather merge deduplicates those by global point
+// index (see core's sharded client), so the assembled field is
+// bit-identical to an unbricked scan: a cell's straddle verdict depends
+// only on its own corner values, and the union of all bricks' cells is
+// exactly the cell lattice.
+
+// BrickSpec names a bricking: how many bricks along each axis and how
+// many ghost cell layers each brick carries at interior faces.
+type BrickSpec struct {
+	NX, NY, NZ int
+	// Ghost is the number of cell layers added beyond the core range at
+	// every face that touches a neighboring brick (faces on the grid
+	// boundary gain nothing). 0 is valid — selection coverage never
+	// needs ghosts — but 1 is the norm: it lets a brick contour its core
+	// cells watertight without its neighbors.
+	Ghost int
+}
+
+// Count returns the total number of bricks.
+func (s BrickSpec) Count() int { return s.NX * s.NY * s.NZ }
+
+// counts returns the per-axis brick counts as an array.
+func (s BrickSpec) counts() [3]int { return [3]int{s.NX, s.NY, s.NZ} }
+
+// axisCells returns the per-axis cell counts, clamping degenerate axes
+// to one exactly like Dims.NumCells so 2D grids brick consistently.
+func axisCells(d Dims) [3]int {
+	c := [3]int{d.X - 1, d.Y - 1, d.Z - 1}
+	for i := range c {
+		if c[i] < 1 {
+			c[i] = 1
+		}
+	}
+	return c
+}
+
+// Validate reports whether the spec can brick a grid of the given
+// dimensions: at least one brick per axis, no more bricks than cells
+// (every brick must own at least one cell), and a non-negative ghost.
+func (s BrickSpec) Validate(d Dims) error {
+	if s.Ghost < 0 {
+		return fmt.Errorf("grid: negative ghost %d", s.Ghost)
+	}
+	cells := axisCells(d)
+	for i, n := range s.counts() {
+		if n < 1 {
+			return fmt.Errorf("grid: brick count %v has a non-positive axis", s.counts())
+		}
+		if n > cells[i] {
+			return fmt.Errorf("grid: %d bricks on axis %d, but only %d cells", n, i, cells[i])
+		}
+	}
+	return nil
+}
+
+// Brick is one piece of a bricked grid. CellLo/CellHi is the half-open
+// core cell range this brick owns — disjoint across bricks, covering
+// the whole cell lattice. PointLo/PointHi is the half-open point range
+// actually stored: the corners of the core cells widened by the spec's
+// ghost layers, clamped to the grid.
+type Brick struct {
+	// ID is the brick's flat index, x-fastest like PointIndex.
+	ID int
+	// Index is the brick's (bi, bj, bk) coordinate in the brick grid.
+	Index            [3]int
+	CellLo, CellHi   [3]int
+	PointLo, PointHi [3]int
+}
+
+// Bricks enumerates the spec's bricks over a grid of the given
+// dimensions, x-fastest. Core ranges split each axis's cells as evenly
+// as integer arithmetic allows.
+func (s BrickSpec) Bricks(d Dims) ([]Brick, error) {
+	if err := s.Validate(d); err != nil {
+		return nil, err
+	}
+	cells := axisCells(d)
+	dims := [3]int{d.X, d.Y, d.Z}
+	n := s.counts()
+	out := make([]Brick, 0, s.Count())
+	for bk := 0; bk < n[2]; bk++ {
+		for bj := 0; bj < n[1]; bj++ {
+			for bi := 0; bi < n[0]; bi++ {
+				b := Brick{
+					ID:    (bk*n[1]+bj)*n[0] + bi,
+					Index: [3]int{bi, bj, bk},
+				}
+				for a, c := range [3]int{bi, bj, bk} {
+					b.CellLo[a] = cells[a] * c / n[a]
+					b.CellHi[a] = cells[a] * (c + 1) / n[a]
+					glo := b.CellLo[a] - s.Ghost
+					if glo < 0 {
+						glo = 0
+					}
+					ghi := b.CellHi[a] + s.Ghost
+					if ghi > cells[a] {
+						ghi = cells[a]
+					}
+					b.PointLo[a] = glo
+					b.PointHi[a] = ghi + 1
+					// A degenerate axis (2D grids) has one clamped
+					// phantom cell but only one point plane.
+					if b.PointHi[a] > dims[a] {
+						b.PointHi[a] = dims[a]
+					}
+				}
+				out = append(out, b)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ExtentDims returns the brick's stored point dimensions.
+func (b Brick) ExtentDims() Dims {
+	return Dims{
+		X: b.PointHi[0] - b.PointLo[0],
+		Y: b.PointHi[1] - b.PointLo[1],
+		Z: b.PointHi[2] - b.PointLo[2],
+	}
+}
+
+// NumPoints returns the number of points the brick stores.
+func (b Brick) NumPoints() int { return b.ExtentDims().NumPoints() }
+
+// SubGrid returns the brick's own uniform grid: the parent's spacing
+// with the origin shifted to the brick's first stored point, so brick
+// point (0,0,0) sits exactly where parent point PointLo does.
+func (b Brick) SubGrid(parent *Uniform) *Uniform {
+	return &Uniform{
+		Dims: b.ExtentDims(),
+		Origin: Vec3{
+			X: parent.Origin.X + float64(b.PointLo[0])*parent.Spacing.X,
+			Y: parent.Origin.Y + float64(b.PointLo[1])*parent.Spacing.Y,
+			Z: parent.Origin.Z + float64(b.PointLo[2])*parent.Spacing.Z,
+		},
+		Spacing: parent.Spacing,
+	}
+}
+
+// GlobalPointIndex maps a brick-local flat point index to the parent
+// grid's flat point index, both x-fastest.
+func (b Brick) GlobalPointIndex(parent Dims, local int) int {
+	ed := b.ExtentDims()
+	li := local % ed.X
+	rem := local / ed.X
+	lj := rem % ed.Y
+	lk := rem / ed.Y
+	return ((lk+b.PointLo[2])*parent.Y+lj+b.PointLo[1])*parent.X + li + b.PointLo[0]
+}
+
+// ExtractBrickField copies the brick's stored extent out of a parent
+// field.
+func ExtractBrickField(parent *Uniform, f *Field, b Brick) (*Field, error) {
+	if f.Len() != parent.NumPoints() {
+		return nil, fmt.Errorf("grid: field %q has %d values, grid has %d points",
+			f.Name, f.Len(), parent.NumPoints())
+	}
+	ed := b.ExtentDims()
+	out := make([]float32, 0, ed.NumPoints())
+	for lk := 0; lk < ed.Z; lk++ {
+		gk := lk + b.PointLo[2]
+		for lj := 0; lj < ed.Y; lj++ {
+			gj := lj + b.PointLo[1]
+			row := (gk*parent.Dims.Y+gj)*parent.Dims.X + b.PointLo[0]
+			out = append(out, f.Values[row:row+ed.X]...)
+		}
+	}
+	return &Field{Name: f.Name, Values: out}, nil
+}
+
+// ExtractBrick builds the brick's sub-dataset: its sub-grid plus every
+// field's stored extent, in the parent's field order.
+func ExtractBrick(ds *Dataset, b Brick) (*Dataset, error) {
+	out := NewDataset(b.SubGrid(ds.Grid))
+	for _, name := range ds.FieldNames() {
+		f, err := ExtractBrickField(ds.Grid, ds.Field(name), b)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AddField(f); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBrickPartitionCoversCells(t *testing.T) {
+	cases := []struct {
+		name string
+		dims Dims
+		spec BrickSpec
+	}{
+		{"3x1x1 over 24^3", Dims{X: 24, Y: 24, Z: 24}, BrickSpec{NX: 3, NY: 1, NZ: 1, Ghost: 1}},
+		{"2x2x2 over 10x7x5", Dims{X: 10, Y: 7, Z: 5}, BrickSpec{NX: 2, NY: 2, NZ: 2, Ghost: 1}},
+		{"uneven 3x2x1", Dims{X: 8, Y: 9, Z: 4}, BrickSpec{NX: 3, NY: 2, NZ: 1, Ghost: 1}},
+		{"2D 2x2x1", Dims{X: 17, Y: 9, Z: 1}, BrickSpec{NX: 2, NY: 2, NZ: 1, Ghost: 1}},
+		{"no ghost", Dims{X: 12, Y: 12, Z: 12}, BrickSpec{NX: 2, NY: 3, NZ: 2, Ghost: 0}},
+		{"wide ghost", Dims{X: 12, Y: 12, Z: 12}, BrickSpec{NX: 4, NY: 1, NZ: 1, Ghost: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bricks, err := tc.spec.Bricks(tc.dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bricks) != tc.spec.Count() {
+				t.Fatalf("got %d bricks, want %d", len(bricks), tc.spec.Count())
+			}
+			cells := axisCells(tc.dims)
+			// Every cell must be owned by exactly one brick's core range.
+			owners := make([]int, cells[0]*cells[1]*cells[2])
+			for _, b := range bricks {
+				if b.ID != bricks[b.ID].ID {
+					t.Errorf("brick %d out of order", b.ID)
+				}
+				for a := 0; a < 3; a++ {
+					if b.CellLo[a] >= b.CellHi[a] {
+						t.Errorf("brick %d axis %d core empty: [%d,%d)", b.ID, a, b.CellLo[a], b.CellHi[a])
+					}
+					// The extent must cover the core cells' corners; on a
+					// degenerate axis the clamped phantom cell's far corner
+					// stops at the grid's single point plane.
+					coversHi := b.PointHi[a] >= b.CellHi[a]+1 || b.PointHi[a] == dimsAxis(tc.dims, a)
+					if b.PointLo[a] > b.CellLo[a] || !coversHi {
+						t.Errorf("brick %d axis %d extent [%d,%d) does not cover core [%d,%d)",
+							b.ID, a, b.PointLo[a], b.PointHi[a], b.CellLo[a], b.CellHi[a])
+					}
+					if b.PointLo[a] < 0 || b.PointHi[a] > dimsAxis(tc.dims, a) {
+						t.Errorf("brick %d axis %d extent [%d,%d) outside grid", b.ID, a, b.PointLo[a], b.PointHi[a])
+					}
+				}
+				for ck := b.CellLo[2]; ck < b.CellHi[2]; ck++ {
+					for cj := b.CellLo[1]; cj < b.CellHi[1]; cj++ {
+						for ci := b.CellLo[0]; ci < b.CellHi[0]; ci++ {
+							owners[(ck*cells[1]+cj)*cells[0]+ci]++
+						}
+					}
+				}
+			}
+			for i, n := range owners {
+				if n != 1 {
+					t.Fatalf("cell %d owned by %d bricks, want exactly 1", i, n)
+				}
+			}
+		})
+	}
+}
+
+func dimsAxis(d Dims, a int) int {
+	switch a {
+	case 0:
+		return d.X
+	case 1:
+		return d.Y
+	default:
+		return d.Z
+	}
+}
+
+func TestBrickGhostExpansion(t *testing.T) {
+	// Three bricks along x over 10 points (9 cells): cores [0,3) [3,6)
+	// [6,9). With one ghost layer only interior faces widen.
+	bricks, err := BrickSpec{NX: 3, NY: 1, NZ: 1, Ghost: 1}.Bricks(Dims{X: 10, Y: 4, Z: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLo := []int{0, 2, 5}
+	wantHi := []int{5, 8, 10}
+	for i, b := range bricks {
+		if b.PointLo[0] != wantLo[i] || b.PointHi[0] != wantHi[i] {
+			t.Errorf("brick %d x-extent [%d,%d), want [%d,%d)",
+				i, b.PointLo[0], b.PointHi[0], wantLo[i], wantHi[i])
+		}
+		// y and z have a single brick: no interior faces, full extent.
+		if b.PointLo[1] != 0 || b.PointHi[1] != 4 || b.PointLo[2] != 0 || b.PointHi[2] != 4 {
+			t.Errorf("brick %d y/z extent widened without an interior face", i)
+		}
+	}
+}
+
+func TestBrickSpecValidate(t *testing.T) {
+	d := Dims{X: 4, Y: 4, Z: 1}
+	if err := (BrickSpec{NX: 0, NY: 1, NZ: 1}).Validate(d); err == nil {
+		t.Error("zero brick count accepted")
+	}
+	if err := (BrickSpec{NX: 1, NY: 1, NZ: 1, Ghost: -1}).Validate(d); err == nil {
+		t.Error("negative ghost accepted")
+	}
+	if err := (BrickSpec{NX: 4, NY: 1, NZ: 1}).Validate(d); err == nil {
+		t.Error("more bricks than cells accepted")
+	}
+	if err := (BrickSpec{NX: 1, NY: 1, NZ: 2}).Validate(d); err == nil {
+		t.Error("2 bricks on a degenerate axis accepted")
+	}
+	if err := (BrickSpec{NX: 3, NY: 3, NZ: 1, Ghost: 1}).Validate(d); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestExtractBrickRoundTrip(t *testing.T) {
+	g := &Uniform{
+		Dims:    Dims{X: 7, Y: 5, Z: 4},
+		Origin:  Vec3{X: 1, Y: 2, Z: 3},
+		Spacing: Vec3{X: 0.5, Y: 1, Z: 2},
+	}
+	f := NewField("v", g.NumPoints())
+	for i := range f.Values {
+		f.Values[i] = float32(i) * 1.25
+	}
+	ds := NewDataset(g)
+	ds.MustAddField(f)
+
+	bricks, err := BrickSpec{NX: 2, NY: 2, NZ: 1, Ghost: 1}.Bricks(g.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bricks {
+		sub, err := ExtractBrick(ds, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ed := b.ExtentDims()
+		if sub.Grid.Dims != ed {
+			t.Fatalf("brick %d sub-grid dims %v, want %v", b.ID, sub.Grid.Dims, ed)
+		}
+		wantOrigin := Vec3{
+			X: g.Origin.X + float64(b.PointLo[0])*g.Spacing.X,
+			Y: g.Origin.Y + float64(b.PointLo[1])*g.Spacing.Y,
+			Z: g.Origin.Z + float64(b.PointLo[2])*g.Spacing.Z,
+		}
+		if sub.Grid.Origin != wantOrigin {
+			t.Fatalf("brick %d origin %v, want %v", b.ID, sub.Grid.Origin, wantOrigin)
+		}
+		sf := sub.Field("v")
+		if sf.Len() != b.NumPoints() {
+			t.Fatalf("brick %d field has %d values, want %d", b.ID, sf.Len(), b.NumPoints())
+		}
+		// Every local value must equal the parent value at the mapped
+		// global index, and the map must be a bijection onto the extent.
+		for li, v := range sf.Values {
+			gi := b.GlobalPointIndex(g.Dims, li)
+			if math.Float32bits(v) != math.Float32bits(f.Values[gi]) {
+				t.Fatalf("brick %d local %d (global %d): value %g, want %g",
+					b.ID, li, gi, v, f.Values[gi])
+			}
+		}
+	}
+}
