@@ -32,7 +32,7 @@ func main() {
 	log.SetPrefix("benchviz: ")
 
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: fig1,fig5,fig6,fig13,tab2,fig14,ablations,e2e,lossy,slice,repeat,faults,overload,crowd,slo,shard or all")
+		exp     = flag.String("exp", "all", "comma-separated experiments: fig1,fig5,fig6,fig13,tab2,fig14,ablations,e2e,lossy,slice,repeat,faults,overload,crowd,slo,shard,corrupt or all")
 		n       = flag.Int("n", 0, "asteroid/nyx grid edge length (0 = config default)")
 		steps   = flag.Int("steps", 0, "asteroid timesteps (0 = config default)")
 		gbps    = flag.Float64("gbps", 0, "inter-node link capacity in Gb/s (0 = config default)")
@@ -186,6 +186,9 @@ func main() {
 	}
 	if all || want["shard"] {
 		show(env.ShardExperiment("v03"))
+	}
+	if all || want["corrupt"] {
+		show(env.CorruptExperiment("v03"))
 	}
 	if all || want["repeat"] {
 		step := env.Steps()[0]

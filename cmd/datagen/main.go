@@ -43,6 +43,7 @@ func main() {
 		out     = flag.String("out", "", "output directory (local files)")
 		store   = flag.String("store", "", "object store address (host:port) instead of -out")
 		bucket  = flag.String("bucket", "sim", "object store bucket")
+		cksum   = flag.Bool("checksum", true, "embed per-page CRC32C checksums in every written object; readers verify on decode and the ndpserver scrubber audits them")
 		bricks  = flag.String("bricks", "", `also write per-brick objects + manifest, bricked "NxMxK" (e.g. 3x1x1)`)
 		ghost   = flag.Int("ghost", 1, "ghost cell layers per brick (with -bricks)")
 		shards  = flag.Int("shards", 0, "assign bricks to this many shards round-robin in the manifest (0 = hash-routed)")
@@ -77,9 +78,10 @@ func main() {
 	}
 
 	write := func(key string, ds *grid.Dataset, kind compress.Kind) error {
+		opts := vtkio.WriteOptions{Codec: kind, Checksum: *cksum}
 		if *store != "" {
 			var buf bytes.Buffer
-			if err := vtkio.Write(&buf, ds, vtkio.WriteOptions{Codec: kind}); err != nil {
+			if err := vtkio.Write(&buf, ds, opts); err != nil {
 				return err
 			}
 			client := objstore.NewClient(*store, nil)
@@ -89,7 +91,7 @@ func main() {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			return err
 		}
-		return vtkio.WriteFile(path, ds, vtkio.WriteOptions{Codec: kind})
+		return vtkio.WriteFile(path, ds, opts)
 	}
 
 	// writeBricked partitions one timestep into per-brick objects under

@@ -21,6 +21,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"vizndp/internal/core"
@@ -44,6 +45,8 @@ func main() {
 		coalesce = flag.Bool("coalesce", false, "batch concurrent fetches of the same array into shared multi-isovalue scans")
 		payloadB = flag.Int64("payload-cache-bytes", 0, "encoded-payload cache budget in bytes; identical repeat fetches skip read and scan (0 = off)")
 		shard    = flag.String("shard", "", "shard name stamped onto this server's request events (sharded deployments)")
+		scrubInt = flag.Duration("scrub-interval", 0, "verify stored brick checksums in the background this often, quarantining corrupt objects (0 = off; requires -scrub-manifest)")
+		scrubMan = flag.String("scrub-manifest", "", "comma-separated brick manifest paths for the background scrubber; status at /scrub")
 		maxInFl  = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = unbounded)")
 		queue    = flag.Int("queue", 0, "admission queue length beyond -max-inflight; full queue sheds with a retryable busy error")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight requests finish on SIGINT")
@@ -97,6 +100,31 @@ func main() {
 	if *payloadB > 0 {
 		srvOpts = append(srvOpts, core.WithPayloadCacheBytes(*payloadB))
 	}
+	var scrubber *core.Scrubber
+	if *scrubMan != "" {
+		var manifests []string
+		for _, m := range strings.Split(*scrubMan, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				manifests = append(manifests, m)
+			}
+		}
+		scrubber = core.NewScrubber(fsys, manifests...)
+		srvOpts = append(srvOpts, core.WithScrubber(scrubber))
+		telemetry.SetScrubStatus(func() any { return scrubber.Status() })
+		// One synchronous pass before serving: known-bad bricks are
+		// quarantined before the first fetch can trip over them.
+		if rep, err := scrubber.RunOnce(context.Background()); err != nil {
+			log.Fatalf("initial scrub pass: %v", err)
+		} else if rep.Corrupt > 0 {
+			log.Printf("initial scrub pass quarantined %d of %d objects", rep.Quarantined, rep.Scanned+rep.Corrupt+rep.Skipped)
+		}
+		if *scrubInt > 0 {
+			scrubber.Start(*scrubInt)
+			defer scrubber.Stop()
+		}
+	} else if *scrubInt > 0 {
+		log.Fatal("-scrub-interval requires -scrub-manifest")
+	}
 	srv := core.NewServer(fsys, srvOpts...)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -130,6 +158,13 @@ func main() {
 	}
 	if *payloadB > 0 {
 		fmt.Printf(" (payload cache %d bytes)", *payloadB)
+	}
+	if scrubber != nil {
+		if *scrubInt > 0 {
+			fmt.Printf(" (scrubbing every %v)", *scrubInt)
+		} else {
+			fmt.Print(" (scrubbed once at startup)")
+		}
 	}
 	fmt.Println()
 

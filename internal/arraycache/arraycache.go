@@ -276,6 +276,28 @@ func (c *Cache) Reset() {
 	}
 }
 
+// InvalidatePath drops every resident entry whose key names path,
+// regardless of array or timestep, and reports how many were removed.
+// Used when a read of path is found corrupt: whatever was decoded from
+// those bytes earlier is no longer trustworthy.
+func (c *Cache) InvalidatePath(path string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*lruItem).key.Path == path {
+			c.removeLocked(el)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
 // Len returns the number of resident entries.
 func (c *Cache) Len() int {
 	if c == nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -17,6 +18,34 @@ import (
 // mClientFallbacks counts degraded fetches: pre-filtered fetches that
 // failed remotely and were served by FetchRaw plus a local pre-filter.
 var mClientFallbacks = telemetry.Default().Counter("core.client.fallbacks")
+
+// mClientWireCorrupt counts responses whose bytes arrived damaged: the
+// server's recorded payload CRC and the received bytes disagree.
+var mClientWireCorrupt = telemetry.Default().Counter("core.client.corrupt.wire")
+
+// verifyWireCRC checks received bytes against the "crc" field a new
+// server records in its response maps. Responses from older servers
+// carry no field and pass unverified (nil). A mismatch wraps
+// rpc.ErrCorrupt so callers route it to data-level recovery.
+func verifyWireCRC(m map[string]any, what string, data []byte) error {
+	var want uint32
+	switch v := m["crc"].(type) {
+	case nil:
+		return nil
+	case int64:
+		want = uint32(v)
+	case uint64:
+		want = uint32(v)
+	default:
+		return fmt.Errorf("core: %s crc is %T", what, v)
+	}
+	if got := vtkio.Checksum(data); got != want {
+		mClientWireCorrupt.Inc()
+		return fmt.Errorf("%w: %s bytes arrived with crc %08x, server recorded %08x",
+			rpc.ErrCorrupt, what, got, want)
+	}
+	return nil
+}
 
 var clientLog = telemetry.Logger("ndpclient")
 
@@ -276,23 +305,29 @@ func (c *Client) FetchFilteredContext(ctx context.Context, path, array string, i
 func (c *Client) fetchFiltered(ctx context.Context, path, array string, isovalues []float64, isos []any, enc Encoding, ev *telemetry.ActiveEvent) (*Payload, *FetchStats, error) {
 	start := time.Now()
 	res, err := c.rpc.CallContext(ctx, MethodFetch, path, array, isos, enc.String())
-	if err != nil {
-		if !c.fallback || ctx.Err() != nil {
-			return nil, nil, err
+	if err == nil {
+		payload, st, derr := decodeFetchResult(res, time.Since(start))
+		// A payload that arrived damaged (wire CRC mismatch) is worth one
+		// degraded retry: the fault was in flight, not in the server, and
+		// the raw path re-reads everything end to end.
+		if derr == nil || !c.fallback || ctx.Err() != nil || !errors.Is(derr, rpc.ErrCorrupt) {
+			return payload, st, derr
 		}
-		payload, st, ferr := c.fetchFilteredFallback(ctx, path, array, isovalues, enc, start)
-		if ferr != nil {
-			// The degraded path failed too; the original error names the
-			// root cause, the fallback error says why degradation could
-			// not mask it.
-			return nil, nil, fmt.Errorf("core: pre-filtered fetch failed (%w); fallback also failed: %w", err, ferr)
-		}
-		ev.MarkDegraded()
-		clientLog.Warn("pre-filtered fetch degraded to raw transfer",
-			"path", path, "array", array, "err", err)
-		return payload, st, nil
+		err = derr
+	} else if !c.fallback || ctx.Err() != nil {
+		return nil, nil, err
 	}
-	return decodeFetchResult(res, time.Since(start))
+	payload, st, ferr := c.fetchFilteredFallback(ctx, path, array, isovalues, enc, start)
+	if ferr != nil {
+		// The degraded path failed too; the original error names the
+		// root cause, the fallback error says why degradation could
+		// not mask it.
+		return nil, nil, fmt.Errorf("core: pre-filtered fetch failed (%w); fallback also failed: %w", err, ferr)
+	}
+	ev.MarkDegraded()
+	clientLog.Warn("pre-filtered fetch degraded to raw transfer",
+		"path", path, "array", array, "err", err)
+	return payload, st, nil
 }
 
 // fetchFilteredFallback is the graceful-degradation path: pull the whole
@@ -462,6 +497,9 @@ func (c *Client) FetchSliceContext(ctx context.Context, path, array string, axis
 	if !ok {
 		return nil, nil, nil, fmt.Errorf("core: fetchslice values is %T", m["values"])
 	}
+	if err := verifyWireCRC(m, "slice values", raw); err != nil {
+		return nil, nil, nil, err
+	}
 	vals, err := vtkio.BytesToFloats(raw)
 	if err != nil {
 		return nil, nil, nil, err
@@ -501,6 +539,12 @@ func decodeFetchResult(res any, total time.Duration) (*Payload, *FetchStats, err
 	data, ok := m["payload"].([]byte)
 	if !ok {
 		return nil, nil, fmt.Errorf("core: fetch payload is %T", m["payload"])
+	}
+	// Verify transport integrity before decoding: a flipped bit inside
+	// the payload's packed varints would otherwise decode into silently
+	// wrong geometry rather than an error.
+	if err := verifyWireCRC(m, "fetch payload", data); err != nil {
+		return nil, nil, err
 	}
 	payload, err := DecodePayload(data)
 	if err != nil {
@@ -545,6 +589,9 @@ func (c *Client) FetchManifestContext(ctx context.Context, path string) (*vtkio.
 	if !ok {
 		return nil, fmt.Errorf("core: manifest data is %T", m["manifest"])
 	}
+	if err := verifyWireCRC(m, "manifest", data); err != nil {
+		return nil, err
+	}
 	return vtkio.DecodeManifest(data)
 }
 
@@ -567,6 +614,9 @@ func (c *Client) FetchRawContext(ctx context.Context, path, array string) ([]byt
 	data, ok := m["data"].([]byte)
 	if !ok {
 		return nil, 0, fmt.Errorf("core: fetchraw data is %T", m["data"])
+	}
+	if err := verifyWireCRC(m, "raw array", data); err != nil {
+		return nil, 0, err
 	}
 	readNS, _ := m["readns"].(int64)
 	return data, time.Duration(readNS), nil

@@ -156,6 +156,27 @@ func (c *payloadCache) removeLocked(el *list.Element) {
 	mPayloadEntries.Set(int64(len(c.entries)))
 }
 
+// invalidatePath drops every resident payload computed from path and
+// reports how many were removed. Called when a read of path is found
+// corrupt: any earlier pre-filter result over those bytes is suspect.
+func (c *payloadCache) invalidatePath(path string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*payloadItem).key.path == path {
+			c.removeLocked(el)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
 // len returns the number of resident entries.
 func (c *payloadCache) len() int {
 	if c == nil {

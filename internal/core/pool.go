@@ -18,6 +18,7 @@ import (
 var (
 	mPoolFailovers   = telemetry.Default().Counter("core.pool.failovers")
 	mPoolBreakerOpen = telemetry.Default().Counter("core.pool.breaker.open")
+	mPoolCorruptions = telemetry.Default().Counter("core.pool.corruptions")
 )
 
 var poolLog = telemetry.Logger("ndppool")
@@ -240,9 +241,16 @@ func (p *Pool) CallContext(ctx context.Context, method string, args ...any) (any
 			return result, nil
 		}
 		// A caller-cancelled attempt says nothing about the replica's
-		// health; only count failures the replica itself caused.
+		// health; only count failures the replica itself caused. A corrupt
+		// rejection is counted apart and does NOT feed the breaker: the
+		// node answered promptly — its DATA is bad, not its health — and
+		// tripping the breaker would pull a healthy replica out of
+		// rotation exactly when its siblings are needed for repair reads.
 		if ctx.Err() == nil {
-			if r.brk.failure(time.Now()) {
+			if errors.Is(err, rpc.ErrCorrupt) {
+				mPoolCorruptions.Inc()
+				poolLog.Warn("corrupt response", "addr", r.addr, "method", method, "err", err)
+			} else if r.brk.failure(time.Now()) {
 				mPoolBreakerOpen.Inc()
 				poolLog.Warn("breaker opened", "addr", r.addr, "err", err)
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -23,6 +24,7 @@ import (
 var (
 	mFetchCount     = telemetry.Default().Counter("ndp.fetch.count")
 	mFetchErrors    = telemetry.Default().Counter("ndp.fetch.errors")
+	mFetchCorrupt   = telemetry.Default().Counter("ndp.fetch.corrupt")
 	mFetchRawBytes  = telemetry.Default().Counter("ndp.fetch.bytes.raw")
 	mFetchPayload   = telemetry.Default().Counter("ndp.fetch.bytes.payload")
 	mFetchSelected  = telemetry.Default().Counter("ndp.fetch.points.selected")
@@ -53,6 +55,7 @@ type Server struct {
 	rpc          *rpc.Server
 	cache        *arraycache.Cache
 	scans        *scanShare
+	scrub        *Scrubber
 	coalesceWin  time.Duration
 	payloadBytes int64
 	rpcOpts      []rpc.ServerOption
@@ -98,6 +101,13 @@ func WithPayloadCacheBytes(maxBytes int64) ServerOption {
 // sliced apart at /debug/requests. Empty (the default) stamps nothing.
 func WithShardName(name string) ServerOption {
 	return func(s *Server) { s.shardName = name }
+}
+
+// WithScrubber attaches a background integrity scrubber. Requests for
+// an object the scrubber has quarantined are rejected up front with the
+// data-level rpc.ErrCorrupt instead of re-reading known-bad bytes.
+func WithScrubber(sc *Scrubber) ServerOption {
+	return func(s *Server) { s.scrub = sc }
 }
 
 // WithMaxInFlight bounds how many requests execute concurrently
@@ -252,13 +262,19 @@ func (s *Server) openReader(path string) (*vtkio.Reader, io.Closer, error) {
 	return r, f, nil
 }
 
-func (s *Server) handleDescribe(_ context.Context, args []any) (any, error) {
+func (s *Server) handleDescribe(ctx context.Context, args []any) (any, error) {
 	path, err := argString(args, 0, "path")
 	if err != nil {
 		return nil, err
 	}
+	if err := s.quarantined(path); err != nil {
+		return nil, err
+	}
 	r, closer, err := s.openReader(path)
 	if err != nil {
+		if corruptionError(err) {
+			return nil, s.failCorrupt(ctx, path, err)
+		}
 		return nil, err
 	}
 	defer closer.Close()
@@ -361,6 +377,47 @@ func (s *Server) fileFingerprint(path string, size int64) (uint64, error) {
 	return h.Sum64(), nil
 }
 
+// corruptionError reports whether err means the stored bytes lied:
+// a page failed its recorded CRC, or a read came up short against the
+// sizes the header promised (a truncated object). Codec errors are NOT
+// classified — checksum verification runs before decompression, so on
+// checksummed data a codec failure indicates a bug, not bad storage.
+func corruptionError(err error) bool {
+	return errors.Is(err, vtkio.ErrChecksum) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.EOF)
+}
+
+// failCorrupt converts a detected-corruption read failure into the
+// wire-preserved rpc.ErrCorrupt, counts it, stamps the request's wide
+// event, and evicts everything previously decoded from the same path —
+// resident entries may predate the damage, but a store that corrupted
+// one read has forfeited trust in cheaper copies of the same object.
+func (s *Server) failCorrupt(ctx context.Context, path string, err error) error {
+	mFetchCorrupt.Inc()
+	dropped := s.cache.InvalidatePath(path)
+	if s.scans != nil {
+		dropped += s.scans.payloads.invalidatePath(path)
+	}
+	ev := telemetry.EventFromContext(ctx)
+	ev.SetAttr("corrupt", path)
+	ev.SetAttr("corruptEvicted", dropped)
+	serverLog.Warn("corrupt read", "path", path, "evicted", dropped, "err", err)
+	return fmt.Errorf("%w: %s: %w", rpc.ErrCorrupt, path, err)
+}
+
+// quarantined rejects paths the scrubber has flagged, before any read.
+func (s *Server) quarantined(path string) error {
+	if s.scrub == nil {
+		return nil
+	}
+	if reason := s.scrub.Quarantined(path); reason != "" {
+		mFetchCorrupt.Inc()
+		return fmt.Errorf("%w: %s quarantined: %s", rpc.ErrCorrupt, path, reason)
+	}
+	return nil
+}
+
 // readArrayOnce performs one actual storage read: open, parse the
 // header, read + decompress the array. The returned entry stays valid
 // after the backing file is closed.
@@ -382,6 +439,20 @@ func (s *Server) readArrayOnce(path, array string) (*arraycache.Entry, error) {
 // requests single-flight onto one read and repeats are served resident.
 // The lookup outcome is stamped onto the request's wide event via ctx.
 func (s *Server) loadArray(ctx context.Context, path, array string) (*arraycache.Entry, arraycache.Outcome, error) {
+	if err := s.quarantined(path); err != nil {
+		return nil, arraycache.Miss, err
+	}
+	entry, outcome, err := s.loadArrayInner(ctx, path, array)
+	if err != nil && corruptionError(err) {
+		// The failed load was never cached (GetOrLoad caches only on
+		// success, and every coalesced waiter receives this same error);
+		// invalidation covers entries decoded from earlier, clean reads.
+		err = s.failCorrupt(ctx, path, err)
+	}
+	return entry, outcome, err
+}
+
+func (s *Server) loadArrayInner(ctx context.Context, path, array string) (*arraycache.Entry, arraycache.Outcome, error) {
 	if s.cache == nil {
 		e, err := s.readArrayOnce(path, array)
 		telemetry.EventFromContext(ctx).SetCache(arraycache.Miss.String())
@@ -527,6 +598,9 @@ func (s *Server) handleFetch(ctx context.Context, args []any) (any, error) {
 		"filterns": int64(stats.FilterTime),
 		"rawbytes": stats.RawBytes,
 		"selected": int64(stats.SelectedPoints),
+		// Whole-payload CRC32C: new clients verify the bytes survived the
+		// wire; old clients ignore the extra key.
+		"crc": int64(vtkio.Checksum(payload.Data)),
 	}, nil
 }
 
@@ -612,6 +686,7 @@ func (s *Server) handleFetchRange(ctx context.Context, args []any) (any, error) 
 		"filterns": int64(stats.FilterTime),
 		"rawbytes": stats.RawBytes,
 		"selected": int64(stats.SelectedPoints),
+		"crc":      int64(vtkio.Checksum(payload.Data)),
 	}, nil
 }
 
@@ -676,14 +751,16 @@ func (s *Server) handleFetchSlice(ctx context.Context, args []any) (any, error) 
 		FilterTime:     filterTime,
 	})
 
+	values := vtkio.FloatsToBytes(vals)
 	return map[string]any{
 		"dims":     []any{int64(g2.Dims.X), int64(g2.Dims.Y), int64(g2.Dims.Z)},
 		"origin":   []any{g2.Origin.X, g2.Origin.Y, g2.Origin.Z},
 		"spacing":  []any{g2.Spacing.X, g2.Spacing.Y, g2.Spacing.Z},
-		"values":   vtkio.FloatsToBytes(vals),
+		"values":   values,
 		"readns":   int64(readTime),
 		"filterns": int64(filterTime),
 		"rawbytes": int64(4 * field.Len()),
+		"crc":      int64(vtkio.Checksum(values)),
 	}, nil
 }
 
@@ -699,6 +776,9 @@ func (s *Server) handleFetchRaw(ctx context.Context, args []any) (any, error) {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.quarantined(path); err != nil {
 		return nil, err
 	}
 	s.stampShard(ctx)
@@ -726,11 +806,17 @@ func (s *Server) handleFetchRaw(ctx context.Context, args []any) (any, error) {
 		r, closer, err := s.openReader(path)
 		if err != nil {
 			span.SetAttr("error", err.Error())
+			if corruptionError(err) {
+				return nil, s.failCorrupt(ctx, path, err)
+			}
 			return nil, err
 		}
 		defer closer.Close()
 		if raw, err = r.ReadArrayBytes(array); err != nil {
 			span.SetAttr("error", err.Error())
+			if corruptionError(err) {
+				return nil, s.failCorrupt(ctx, path, err)
+			}
 			return nil, err
 		}
 		readTime := time.Since(readStart)
@@ -740,6 +826,7 @@ func (s *Server) handleFetchRaw(ctx context.Context, args []any) (any, error) {
 	return map[string]any{
 		"data":   raw,
 		"readns": int64(time.Since(readStart)),
+		"crc":    int64(vtkio.Checksum(raw)),
 	}, nil
 }
 
@@ -751,6 +838,9 @@ func (s *Server) handleManifest(_ context.Context, args []any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.quarantined(path); err != nil {
+		return nil, err
+	}
 	data, err := fs.ReadFile(s.fsys, path)
 	if err != nil {
 		return nil, err
@@ -758,5 +848,8 @@ func (s *Server) handleManifest(_ context.Context, args []any) (any, error) {
 	if _, err := vtkio.DecodeManifest(data); err != nil {
 		return nil, fmt.Errorf("core: manifest %s: %w", path, err)
 	}
-	return map[string]any{"manifest": data}, nil
+	return map[string]any{
+		"manifest": data,
+		"crc":      int64(vtkio.Checksum(data)),
+	}, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -13,6 +14,7 @@ import (
 	"vizndp/internal/bitset"
 	"vizndp/internal/grid"
 	"vizndp/internal/pipeline"
+	"vizndp/internal/rpc"
 	"vizndp/internal/telemetry"
 	"vizndp/internal/vtkio"
 )
@@ -23,11 +25,14 @@ import (
 //	core.shard.merges     counter — gathered arrays assembled client-side
 //	core.shard.ghost.dups counter — ghost-region points dropped by the merge dedup
 //	core.shard.degraded   counter — brick fetches served by a shard's degraded fallback
+//	core.shard.repairs    counter — brick fetches recovered from a sibling shard
+//	                      after the owner returned corrupt data
 var (
 	mShardFetches  = telemetry.Default().Counter("core.shard.fetches")
 	mShardMerges   = telemetry.Default().Counter("core.shard.merges")
 	mShardGhostDup = telemetry.Default().Counter("core.shard.ghost.dups")
 	mShardDegraded = telemetry.Default().Counter("core.shard.degraded")
+	mShardRepairs  = telemetry.Default().Counter("core.shard.repairs")
 )
 
 // shardFetchEvent names the client-side wide event wrapping one brick's
@@ -282,6 +287,26 @@ func (sc *ShardedClient) FetchArrayContext(ctx context.Context, prefix, array st
 				ev.SetSpanIDs(span.Trace(), span.ID())
 			}
 			p, st, err := sc.shards[shard].FetchFilteredContext(ctx, path, array, isovalues, enc)
+			// Read repair: corruption is a verdict about the OWNER's copy
+			// (or its path to us), not about the brick — every shard mounts
+			// the same store, so walk the siblings before giving up. Pool-
+			// backed shard clients already rotate replicas internally; this
+			// loop is what saves single-connection shard sets.
+			if err != nil && errors.Is(err, rpc.ErrCorrupt) {
+				for off := 1; off < len(sc.shards) && ctx.Err() == nil; off++ {
+					sibling := (shard + off) % len(sc.shards)
+					p2, st2, err2 := sc.shards[sibling].FetchFilteredContext(ctx, path, array, isovalues, enc)
+					if err2 == nil {
+						mShardRepairs.Inc()
+						ev.SetAttr("repairedFrom", sibling)
+						p, st, err = p2, st2, nil
+						break
+					}
+					if !errors.Is(err2, rpc.ErrCorrupt) {
+						break
+					}
+				}
+			}
 			if st != nil {
 				ev.SetBytesIn(st.PayloadBytes)
 				if st.Degraded {

@@ -1,0 +1,29 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCorruptExperimentSurvives drives the full integrity campaign: the
+// experiment itself errors unless every corruption class fired, every
+// corrupted-run payload matched the clean run bit for bit, the cache
+// never admitted corrupt bytes, and the scrub pass quarantined exactly
+// the damaged bricks — so a nil error here is the whole assertion.
+func TestCorruptExperimentSurvives(t *testing.T) {
+	tbl, err := env.CorruptExperiment("v03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"clean", "corrupted", "warm cache", "injected storage",
+		"injected wire", "detected", "scrub", "quarantine"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q row:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "0 bitflips") || strings.Contains(out, "0 zeropages") ||
+		strings.Contains(out, "0 truncations") {
+		t.Errorf("table reports an unfired storage class:\n%s", out)
+	}
+}

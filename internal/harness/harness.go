@@ -230,7 +230,10 @@ func (e *Env) populate() error {
 func (e *Env) putAllCodecs(dataset string, step int, ds *grid.Dataset) error {
 	for _, codec := range Codecs {
 		var buf bytes.Buffer
-		if err := vtkio.Write(&buf, ds, vtkio.WriteOptions{Codec: codec}); err != nil {
+		// Checksums on every stored object: the integrity experiment needs
+		// them, and they give every other experiment end-to-end verified
+		// reads at the cost the paper's pipelines would really pay.
+		if err := vtkio.Write(&buf, ds, vtkio.WriteOptions{Codec: codec, Checksum: true}); err != nil {
 			return err
 		}
 		key := ObjectKey(dataset, codec, step)

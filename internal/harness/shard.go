@@ -66,7 +66,7 @@ func (e *Env) populateBricks(dataset string, codec compress.Kind) (*vtkio.Manife
 				return nil, err
 			}
 			var buf bytes.Buffer
-			if err := vtkio.Write(&buf, sub, vtkio.WriteOptions{Codec: codec}); err != nil {
+			if err := vtkio.Write(&buf, sub, vtkio.WriteOptions{Codec: codec, Checksum: true}); err != nil {
 				return nil, err
 			}
 			key := shardPrefix(dataset, codec, step) + vtkio.BrickKey(b.ID)

@@ -18,6 +18,7 @@ var (
 	mFaultConnsKilled  = telemetry.Default().Counter("netsim.fault.conns.killed")
 	mFaultTruncations  = telemetry.Default().Counter("netsim.fault.frames.truncated")
 	mFaultSpikes       = telemetry.Default().Counter("netsim.fault.latency.spikes")
+	mFaultCorruptions  = telemetry.Default().Counter("netsim.fault.corruptions")
 )
 
 // ErrDialRefused is the injected connection-refused error.
@@ -42,7 +43,13 @@ var ErrConnKilled = errors.New("netsim: injected connection kill")
 //     connection closes — the peer reads a truncated length-prefixed
 //     frame, the nastiest wire state a crash can leave behind;
 //   - latency spikes: every SpikeEvery-th shaped write pauses for
-//     SpikeLatency before transmitting (a congested or flapping link).
+//     SpikeLatency before transmitting (a congested or flapping link);
+//   - in-flight payload corruption: accepted connections numbered
+//     1, 1+CorruptConnEvery, ... have CorruptBytes of their outbound
+//     stream XOR-flipped starting a seeded offset past CorruptAfterBytes
+//     — the connection stays up and the frame lengths stay intact, so
+//     the damage reaches the peer's decoder looking like valid data (a
+//     misbehaving middlebox or NIC).
 //
 // KillAfterTime is a separate guillotine: when positive, every accepted
 // connection (armed or not) dies at its first write after living that
@@ -76,6 +83,18 @@ type Faults struct {
 	// SpikeLatency (0 = never).
 	SpikeEvery   int
 	SpikeLatency time.Duration
+	// CorruptConnEvery n arms accepted connections 1, 1+n, 1+2n, ...
+	// for in-flight payload corruption (0 = never).
+	CorruptConnEvery int
+	// CorruptAfterBytes is how far into the armed connection's outbound
+	// stream the corruption window opens; the actual offset adds a
+	// seeded jitter in [0, JitterBytes]. Offsetting past the first few
+	// hundred bytes leaves handshake-sized frames intact and lands the
+	// flips inside bulk payloads.
+	CorruptAfterBytes int64
+	// CorruptBytes is how many bytes of the stream the armed connection
+	// flips once the window opens; 0 defaults to 8.
+	CorruptBytes int
 
 	initOnce sync.Once
 	mu       sync.Mutex // guards rng
@@ -89,6 +108,7 @@ type Faults struct {
 	killed    atomic.Int64
 	truncated atomic.Int64
 	spiked    atomic.Int64
+	corrupted atomic.Int64
 }
 
 // FaultStats is a snapshot of the faults a policy has injected.
@@ -97,11 +117,14 @@ type FaultStats struct {
 	ConnsKilled     int64
 	FramesTruncated int64
 	LatencySpikes   int64
+	// Corruptions counts write chunks whose bytes were flipped in
+	// flight by the payload-corruption class.
+	Corruptions int64
 }
 
 func (s FaultStats) String() string {
-	return fmt.Sprintf("%d dials refused, %d conns killed, %d frames truncated, %d latency spikes",
-		s.DialsRefused, s.ConnsKilled, s.FramesTruncated, s.LatencySpikes)
+	return fmt.Sprintf("%d dials refused, %d conns killed, %d frames truncated, %d latency spikes, %d chunks corrupted",
+		s.DialsRefused, s.ConnsKilled, s.FramesTruncated, s.LatencySpikes, s.Corruptions)
 }
 
 // Stats returns the counts of injected faults so far.
@@ -111,6 +134,7 @@ func (f *Faults) Stats() FaultStats {
 		ConnsKilled:     f.killed.Load(),
 		FramesTruncated: f.truncated.Load(),
 		LatencySpikes:   f.spiked.Load(),
+		Corruptions:     f.corrupted.Load(),
 	}
 }
 
@@ -145,6 +169,18 @@ func (f *Faults) newConnFaults() *connFaults {
 			f.mu.Unlock()
 		}
 	}
+	if f.CorruptConnEvery > 0 && (n-1)%int64(f.CorruptConnEvery) == 0 {
+		cf.corruptAt = f.CorruptAfterBytes
+		if f.JitterBytes > 0 {
+			f.mu.Lock()
+			cf.corruptAt += f.rng.Int63n(f.JitterBytes + 1)
+			f.mu.Unlock()
+		}
+		cf.corruptLeft = f.CorruptBytes
+		if cf.corruptLeft <= 0 {
+			cf.corruptLeft = 8
+		}
+	}
 	return cf
 }
 
@@ -158,7 +194,7 @@ func (f *Faults) onWrite() {
 	}
 }
 
-// connFaults is the per-connection kill state.
+// connFaults is the per-connection kill and corruption state.
 type connFaults struct {
 	faults  *Faults
 	born    time.Time
@@ -166,6 +202,12 @@ type connFaults struct {
 	budget  int64 // remaining write budget while armed
 	written int64
 	dead    bool
+
+	// Corruption window: flip corruptLeft bytes of the outbound stream
+	// starting at stream offset corruptAt. corruptLeft == 0 means the
+	// connection is not armed for corruption (or the window is spent).
+	corruptAt   int64
+	corruptLeft int
 }
 
 // admit decides the fate of one write chunk: how many of its bytes may
@@ -201,6 +243,33 @@ func (cf *connFaults) admit(n int) (allowed int, kill bool) {
 	}
 	cf.written += int64(n)
 	return n, false
+}
+
+// mangle applies the corruption window to one admitted write chunk
+// whose first byte sits at stream offset startOff (the connection's
+// written total before this chunk was charged). The caller's buffer is
+// the rpc encoder's frame — it must never be modified — so an
+// overlapping chunk is copied before its bytes are XOR-flipped. Like
+// admit, not safe for concurrent use.
+func (cf *connFaults) mangle(chunk []byte, startOff int64) []byte {
+	if cf.corruptLeft <= 0 || len(chunk) == 0 {
+		return chunk
+	}
+	if startOff+int64(len(chunk)) <= cf.corruptAt {
+		return chunk
+	}
+	lo := cf.corruptAt - startOff
+	if lo < 0 {
+		lo = 0
+	}
+	out := append([]byte(nil), chunk...)
+	for i := lo; i < int64(len(out)) && cf.corruptLeft > 0; i++ {
+		out[i] ^= 0x5A
+		cf.corruptLeft--
+	}
+	cf.faults.corrupted.Add(1)
+	mFaultCorruptions.Inc()
+	return out
 }
 
 func max64(a, b int64) int64 {

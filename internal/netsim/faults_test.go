@@ -180,6 +180,89 @@ func TestFaultBudgetJitterDeterministic(t *testing.T) {
 	}
 }
 
+func TestFaultCorruptionFlipsInFlightBytes(t *testing.T) {
+	link := Unlimited()
+	f := &Faults{CorruptConnEvery: 1, CorruptAfterBytes: 100, CorruptBytes: 4}
+	link.SetFaults(f)
+	client, server := link.Pipe()
+	defer client.Close()
+
+	want := make([]byte, 1000)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	got := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(client)
+		got <- b
+	}()
+	sent := append([]byte(nil), want...)
+	if _, err := server.Write(sent); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	server.Close()
+
+	var b []byte
+	select {
+	case b = <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer read did not complete")
+	}
+	// The stream's LENGTH survives — corruption is silent, unlike a kill.
+	if len(b) != len(want) {
+		t.Fatalf("peer read %d bytes, want %d", len(b), len(want))
+	}
+	// The writer's own buffer must never be touched: the flips happen on
+	// a copy, after the rpc layer has handed its frame over.
+	for i := range sent {
+		if sent[i] != want[i] {
+			t.Fatalf("caller buffer mutated at byte %d", i)
+		}
+	}
+	// With no jitter the window is exact: bytes [100,104) flipped, the
+	// rest intact.
+	for i := range b {
+		flipped := b[i] != want[i]
+		inWindow := i >= 100 && i < 104
+		if flipped != inWindow {
+			t.Fatalf("byte %d: flipped=%v, want corruption only in [100,104)", i, flipped)
+		}
+	}
+	if st := f.Stats(); st.Corruptions == 0 {
+		t.Error("Corruptions counter did not advance")
+	}
+}
+
+func TestFaultCorruptionEveryNthConnection(t *testing.T) {
+	link := Unlimited()
+	f := &Faults{CorruptConnEvery: 2, CorruptAfterBytes: 0, CorruptBytes: 2}
+	link.SetFaults(f)
+	for conn := 1; conn <= 4; conn++ {
+		client, server := link.Pipe()
+		got := make(chan []byte, 1)
+		go func() {
+			b, _ := io.ReadAll(client)
+			got <- b
+		}()
+		if _, err := server.Write(make([]byte, 64)); err != nil {
+			t.Fatalf("conn %d write: %v", conn, err)
+		}
+		server.Close()
+		b := <-got
+		client.Close()
+		clean := true
+		for _, v := range b {
+			if v != 0 {
+				clean = false
+			}
+		}
+		wantArmed := conn%2 == 1 // connections 1, 3, ...
+		if clean == wantArmed {
+			t.Errorf("conn %d: corrupted=%v, want %v", conn, !clean, wantArmed)
+		}
+	}
+}
+
 func TestFaultPolicyDetached(t *testing.T) {
 	link := Unlimited()
 	f := &Faults{RefuseDialEvery: 1, KillConnEvery: 1, KillAfterBytes: 1}

@@ -201,9 +201,12 @@ func (s *shapedConn) Write(b []byte) (int, error) {
 		}
 		kill := false
 		if s.cf != nil {
+			// Stream offset of this chunk's first byte, captured before
+			// admit advances the written total.
+			startOff := s.cf.written
 			var allowed int
 			allowed, kill = s.cf.admit(len(chunk))
-			chunk = chunk[:allowed]
+			chunk = s.cf.mangle(chunk[:allowed], startOff)
 		}
 		if len(chunk) > 0 {
 			// Only pay the OS timer when the accumulated pacing debt is

@@ -26,6 +26,11 @@
 // A server shedding load marks the response's error string with a
 // reserved control-byte prefix that new clients decode into the
 // retryable ErrBusy; old clients see an ordinary server error string.
+// A server that caught its stored bytes lying — a checksum mismatch or
+// a truncated extent — marks the response the same way for ErrCorrupt,
+// so new clients can route the failure to data-level recovery (retry,
+// sibling shard, raw fallback) while old clients again degrade to a
+// plain server error.
 //
 // Clients multiplex concurrent calls over one connection; servers handle
 // each request in its own goroutine, optionally bounded by admission
@@ -133,6 +138,32 @@ func (e busyError) Error() string { return string(e) }
 
 // Is makes decoded busy rejections match the ErrBusy sentinel.
 func (e busyError) Is(target error) bool { return target == ErrBusy }
+
+// ErrCorrupt is the distinguished data-integrity rejection: the server
+// read stored (or in-flight) bytes that failed their recorded checksum,
+// or an extent visibly cut short. Unlike a transport failure the node
+// itself answered promptly — the fault travels with the DATA — so
+// callers should re-read, try a sibling replica, or fall back to the
+// raw path rather than back off from the node. On the wire it travels
+// like ErrBusy: a reserved prefix on the response's error string that
+// new clients decode into an error matching errors.Is(err, ErrCorrupt);
+// old clients see an ordinary ServerError.
+var ErrCorrupt = errors.New("rpc: corrupt data")
+
+// corruptWirePrefix marks a response error string as ErrCorrupt on the
+// wire, with the same control-byte collision guard as busyWirePrefix.
+const corruptWirePrefix = "\x01corrupt\x01"
+
+// corruptError is the client-side decoding of a corrupt-marked response
+// error: the server's message, matching errors.Is(err, ErrCorrupt).
+// Deliberately NOT a ServerError: the retry layers treat ServerError as
+// a definitive handler verdict, while a corrupt read is worth retrying.
+type corruptError string
+
+func (e corruptError) Error() string { return string(e) }
+
+// Is makes decoded corruption rejections match the ErrCorrupt sentinel.
+func (e corruptError) Is(target error) bool { return target == ErrCorrupt }
 
 // ServerError is an error string returned by the remote side.
 type ServerError string
@@ -761,12 +792,15 @@ func encodeResponse(msgid int64, herr error, result any, spans []telemetry.SpanD
 	e.PutInt(typeResponse)
 	e.PutInt(msgid)
 	if herr != nil {
-		// Busy rejections keep the error a plain string — old clients
-		// must still decode the frame — but carry the reserved prefix so
-		// new clients recover the retryable ErrBusy identity.
-		if errors.Is(herr, ErrBusy) {
+		// Busy and corrupt rejections keep the error a plain string — old
+		// clients must still decode the frame — but carry their reserved
+		// prefix so new clients recover the retryable identity.
+		switch {
+		case errors.Is(herr, ErrBusy):
 			e.PutString(busyWirePrefix + herr.Error())
-		} else {
+		case errors.Is(herr, ErrCorrupt):
+			e.PutString(corruptWirePrefix + herr.Error())
+		default:
 			e.PutString(herr.Error())
 		}
 	} else {
@@ -939,6 +973,8 @@ func decodeResponse(body []byte) (int64, response, error) {
 		}
 		if rest, ok := strings.CutPrefix(msg, busyWirePrefix); ok {
 			resp.err = busyError(rest)
+		} else if rest, ok := strings.CutPrefix(msg, corruptWirePrefix); ok {
+			resp.err = corruptError(rest)
 		} else {
 			resp.err = ServerError(msg)
 		}

@@ -6,8 +6,25 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
+
+// scrubStatus is the process-wide hook /scrub serves. telemetry cannot
+// import core (core imports telemetry), so the scrubbing process
+// registers a closure instead; nil until SetScrubStatus.
+var scrubStatus atomic.Pointer[func() any]
+
+// SetScrubStatus registers fn as the source of the /scrub endpoint's
+// body (typically a core.Scrubber's Status method). Pass nil to
+// unregister.
+func SetScrubStatus(fn func() any) {
+	if fn == nil {
+		scrubStatus.Store(nil)
+		return
+	}
+	scrubStatus.Store(&fn)
+}
 
 // DebugHandler serves the operational endpoints for one process:
 //
@@ -19,6 +36,8 @@ import (
 //	/debug/requests   the flight recorder's wide events as JSON;
 //	                  ?method= ?outcome= ?min_dur= ?anomalous=1 ?limit=
 //	/slo              the SLO monitor's burn-rate status as JSON
+//	/scrub            the integrity scrubber's status as JSON ({} when
+//	                  no scrubber registered via SetScrubStatus)
 //	/debug/pprof/     the standard net/http/pprof handlers
 //
 // Pass nil to use the process-wide default registry and tracer; the
@@ -99,6 +118,17 @@ func DebugHandler(reg *Registry, tr *Tracer) http.Handler {
 			return
 		}
 		_, _ = w.Write(m.StatusJSON())
+	})
+	mux.HandleFunc("/scrub", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fn := scrubStatus.Load()
+		if fn == nil {
+			_, _ = w.Write([]byte("{}\n"))
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode((*fn)())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

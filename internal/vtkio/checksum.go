@@ -1,0 +1,195 @@
+package vtkio
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Data integrity. A .vnd file may carry an optional trailing checksum
+// section: one CRC32C (Castagnoli) per fixed-size page of each array's
+// stored (compressed) bytes, packed little-endian uint32 in array order,
+// written after the last array block. The header points at it via the
+// "checksums" field; old readers unmarshal the header JSON without that
+// field and never touch the trailing bytes, so checksum-bearing files
+// stay readable by readers that predate the section.
+//
+// Verification is lazy: ReadArrayBytes checks only the pages covering
+// the array it fetches, against the table slice for that array. A
+// mismatch wraps ErrChecksum so callers (the NDP server's decode
+// boundary) can distinguish lying bytes from every other failure.
+
+// ChecksumAlgo names the only supported page-checksum algorithm.
+const ChecksumAlgo = "crc32c"
+
+// DefaultChecksumPageSize is the stored-byte span each CRC covers.
+// Small enough to localize a flipped bit to one page in error reports,
+// large enough that the table adds well under 0.01% to the file.
+const DefaultChecksumPageSize = 64 << 10
+
+// ErrChecksum reports stored bytes that fail their recorded CRC32C.
+// Callers match with errors.Is to tell corruption apart from missing
+// arrays, codec failures, and transport errors.
+var ErrChecksum = errors.New("vtkio: checksum mismatch")
+
+// castagnoli is the CRC32C polynomial table; package-level so every
+// checksum in the process shares the one kernel (crc32 uses SSE4.2/ARM
+// instructions through it).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of data — the whole-object checksum the
+// brick manifests carry and the page checksum the .vnd trailer stores.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// ChecksumInfo is the header's pointer to the trailing checksum section.
+type ChecksumInfo struct {
+	// Algo is the checksum algorithm; only "crc32c" is defined.
+	Algo string `json:"algo"`
+	// PageSize is the stored-byte span each table entry covers.
+	PageSize int `json:"pageSize"`
+	// Offset is the absolute file offset of the packed CRC table.
+	Offset int64 `json:"offset"`
+	// Pages is the total entry count: the sum over arrays of
+	// ceil(CompressedSize/PageSize).
+	Pages int `json:"pages"`
+}
+
+// pageCount returns how many PageSize pages cover size stored bytes.
+func pageCount(size int64, pageSize int) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return (size + int64(pageSize) - 1) / int64(pageSize)
+}
+
+// pageCRCs computes the page checksums of the concatenation of chunks,
+// paging across chunk boundaries (pages are over the array's stored
+// extent, not per chunk).
+func pageCRCs(chunks [][]byte, pageSize int) []uint32 {
+	var out []uint32
+	crc := uint32(0)
+	fill := 0
+	for _, c := range chunks {
+		for len(c) > 0 {
+			take := pageSize - fill
+			if take > len(c) {
+				take = len(c)
+			}
+			crc = crc32.Update(crc, castagnoli, c[:take])
+			fill += take
+			c = c[take:]
+			if fill == pageSize {
+				out = append(out, crc)
+				crc, fill = 0, 0
+			}
+		}
+	}
+	if fill > 0 {
+		out = append(out, crc)
+	}
+	return out
+}
+
+// checksumStarts returns, per array, the index of its first entry in
+// the CRC table, plus the total entry count the arrays derive.
+func checksumStarts(arrays []ArrayInfo, pageSize int) ([]int64, int64) {
+	starts := make([]int64, len(arrays))
+	var total int64
+	for i := range arrays {
+		starts[i] = total
+		total += pageCount(arrays[i].CompressedSize(), pageSize)
+	}
+	return starts, total
+}
+
+// validateChecksums rejects a checksum section whose geometry cannot be
+// trusted: unknown algorithm, non-positive page size, a page count that
+// disagrees with what the array extents derive, or a table that falls
+// outside the file. ReadArrayBytes sizes buffers and read offsets from
+// these fields, so a corrupt header must fail here, not fault there.
+// Returns the per-array table start indices.
+func validateChecksums(src io.ReaderAt, h *Header) ([]int64, error) {
+	ck := h.Checksums
+	if ck.Algo != ChecksumAlgo {
+		return nil, fmt.Errorf("vtkio: unsupported checksum algo %q", ck.Algo)
+	}
+	if ck.PageSize <= 0 {
+		return nil, fmt.Errorf("vtkio: checksum page size %d", ck.PageSize)
+	}
+	if ck.Offset < 0 {
+		return nil, fmt.Errorf("vtkio: checksum section at negative offset %d", ck.Offset)
+	}
+	starts, total := checksumStarts(h.Arrays, ck.PageSize)
+	if int64(ck.Pages) != total {
+		return nil, fmt.Errorf("vtkio: checksum section has %d pages, arrays derive %d", ck.Pages, total)
+	}
+	// The table is 4 bytes per entry; guard the multiplication and the
+	// end offset against int64 wraparound before probing the file.
+	tableLen := int64(ck.Pages) * 4
+	if tableLen < 0 || ck.Offset > (1<<62)-tableLen {
+		return nil, fmt.Errorf("vtkio: checksum section at %d overflows (%d pages)", ck.Offset, ck.Pages)
+	}
+	if tableLen > 0 {
+		// Probe the table's last byte so an offset/length pointing past
+		// the end of the file is rejected now rather than surfacing as a
+		// read fault on the first verified array.
+		var b [1]byte
+		if _, err := readFullAt(src, b[:], ck.Offset+tableLen-1); err != nil {
+			return nil, fmt.Errorf("vtkio: checksum section [%d,%d) outside file: %w",
+				ck.Offset, ck.Offset+tableLen, err)
+		}
+	}
+	return starts, nil
+}
+
+// VerifyChecksums reads every array's stored extent and checks it
+// against the CRC table, without decompressing anything. Returns nil
+// immediately for files with no checksum section (there is nothing to
+// verify against), an ErrChecksum-wrapping error naming the first bad
+// page otherwise. This is the scrubber's workhorse: it touches every
+// stored byte once, at I/O cost only.
+func (r *Reader) VerifyChecksums() error {
+	if r.ckStart == nil {
+		return nil
+	}
+	for i := range r.header.Arrays {
+		info := &r.header.Arrays[i]
+		buf := make([]byte, info.CompressedSize())
+		if _, err := readFullAt(r.src, buf, info.Offset); err != nil {
+			return fmt.Errorf("vtkio: reading array %q for verification: %w", info.Name, err)
+		}
+		if err := r.verifyArrayPages(info.Name, r.ckStart[i], buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyArrayPages checks data (one array's full stored extent) against
+// its slice of the CRC table. start is the array's first table entry.
+func (r *Reader) verifyArrayPages(name string, start int64, data []byte) error {
+	ck := r.header.Checksums
+	pages := pageCount(int64(len(data)), ck.PageSize)
+	if pages == 0 {
+		return nil
+	}
+	table := make([]byte, pages*4)
+	if _, err := readFullAt(r.src, table, ck.Offset+start*4); err != nil {
+		return fmt.Errorf("vtkio: reading checksums for array %q: %w", name, err)
+	}
+	for p := int64(0); p < pages; p++ {
+		lo := p * int64(ck.PageSize)
+		hi := lo + int64(ck.PageSize)
+		if hi > int64(len(data)) {
+			hi = int64(len(data))
+		}
+		want := uint32(table[p*4]) | uint32(table[p*4+1])<<8 |
+			uint32(table[p*4+2])<<16 | uint32(table[p*4+3])<<24
+		if got := Checksum(data[lo:hi]); got != want {
+			return fmt.Errorf("%w: array %q page %d (stored bytes [%d,%d)): crc %08x, recorded %08x",
+				ErrChecksum, name, p, lo, hi, got, want)
+		}
+	}
+	return nil
+}

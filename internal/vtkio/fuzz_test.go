@@ -31,6 +31,13 @@ func FuzzOpenReader(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(buf.Bytes())
+		// A checksum-bearing sibling so mutations explore the trailing
+		// table's geometry (testdata/fuzz holds the out-of-range case).
+		buf.Reset()
+		if err := Write(&buf, ds, WriteOptions{Codec: kind, ChunkSize: 64, Checksum: true, ChecksumPageSize: 64}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
 	}
 	f.Add([]byte(Magic))
 	f.Add([]byte("VND1\x00\x00\x00\x02{}"))

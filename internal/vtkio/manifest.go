@@ -38,6 +38,11 @@ type ManifestBrick struct {
 	Key string `json:"key"`
 	// Shard is the owning shard's index, or -1 to route by hash.
 	Shard int `json:"shard"`
+	// Checksum is the CRC32C of the whole brick object's bytes, or zero
+	// when the writer did not record one. The scrubber verifies stored
+	// objects against it; Validate does not pin it (it varies with the
+	// codec the objects were written with).
+	Checksum uint32 `json:"crc,omitempty"`
 }
 
 // Manifest describes one bricked dataset.

@@ -108,6 +108,11 @@ type Header struct {
 	CoordsX []float64 `json:"coordsX,omitempty"`
 	CoordsY []float64 `json:"coordsY,omitempty"`
 	CoordsZ []float64 `json:"coordsZ,omitempty"`
+	// Checksums points at the optional trailing page-CRC section (see
+	// checksum.go). Readers that predate it unmarshal the header without
+	// this field and skip verification — the section sits after the last
+	// array block, outside every extent they read.
+	Checksums *ChecksumInfo `json:"checksums,omitempty"`
 }
 
 // RectGrid returns the stored rectilinear geometry, or nil for uniform
@@ -180,6 +185,11 @@ type WriteOptions struct {
 	// Rect, when non-nil, records explicit rectilinear coordinates for
 	// the dataset's topology (its dims must match the dataset grid's).
 	Rect *grid.Rectilinear
+	// Checksum appends the page-CRC32C section and points the header at
+	// it; readers then verify every array read (see checksum.go).
+	Checksum bool
+	// ChecksumPageSize overrides DefaultChecksumPageSize when positive.
+	ChecksumPageSize int
 }
 
 // Write serializes ds to w, compressing each array with the requested
@@ -245,6 +255,20 @@ func Write(w io.Writer, ds *grid.Dataset, opts WriteOptions) error {
 		blocks = append(blocks, block{info: info, chunks: chunks})
 	}
 
+	// Page checksums over each array's stored bytes, in array order; the
+	// table's file offset joins the layout iteration below.
+	var crcs []uint32
+	if opts.Checksum {
+		pageSize := opts.ChecksumPageSize
+		if pageSize <= 0 {
+			pageSize = DefaultChecksumPageSize
+		}
+		for i := range blocks {
+			crcs = append(crcs, pageCRCs(blocks[i].chunks, pageSize)...)
+		}
+		h.Checksums = &ChecksumInfo{Algo: ChecksumAlgo, PageSize: pageSize, Pages: len(crcs)}
+	}
+
 	// Lay out offsets. The header length depends on the offsets, whose
 	// digit count depends on the header length; iterate until stable.
 	headerLen := 0
@@ -253,6 +277,9 @@ func Write(w io.Writer, ds *grid.Dataset, opts WriteOptions) error {
 		for i := range blocks {
 			blocks[i].info.Offset = off
 			off += blocks[i].info.CompressedSize()
+		}
+		if h.Checksums != nil {
+			h.Checksums.Offset = off
 		}
 		h.Arrays = h.Arrays[:0]
 		for i := range blocks {
@@ -291,6 +318,15 @@ func Write(w io.Writer, ds *grid.Dataset, opts WriteOptions) error {
 			if _, err := w.Write(c); err != nil {
 				return err
 			}
+		}
+	}
+	if len(crcs) > 0 {
+		table := make([]byte, 4*len(crcs))
+		for i, crc := range crcs {
+			binary.LittleEndian.PutUint32(table[i*4:], crc)
+		}
+		if _, err := w.Write(table); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -356,6 +392,9 @@ func compressChunks(raw []byte, chunkSize int, codec compress.Codec) ([][]byte, 
 type Reader struct {
 	src    io.ReaderAt
 	header Header
+	// ckStart[i] is array i's first entry in the checksum table; nil
+	// when the file carries no checksum section.
+	ckStart []int64
 }
 
 // OpenReader parses the header from src and returns a reader. src must
@@ -407,6 +446,16 @@ func OpenReader(src io.ReaderAt) (*Reader, error) {
 			}
 		}
 	}
+	// Same discipline for the checksum section: offsets and page counts
+	// drive reads in ReadArrayBytes, so geometry that falls outside the
+	// file is rejected here rather than faulting there.
+	if r.header.Checksums != nil {
+		starts, err := validateChecksums(src, &r.header)
+		if err != nil {
+			return nil, err
+		}
+		r.ckStart = starts
+	}
 	return r, nil
 }
 
@@ -445,10 +494,17 @@ func (r *Reader) Grid() *grid.Uniform { return r.header.Grid() }
 // ReadArrayBytes fetches and decompresses the named array's raw
 // little-endian bytes, touching only that array's byte range.
 func (r *Reader) ReadArrayBytes(name string) ([]byte, error) {
-	info := r.header.Array(name)
-	if info == nil {
+	idx := -1
+	for i := range r.header.Arrays {
+		if r.header.Arrays[i].Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
 		return nil, fmt.Errorf("vtkio: no array %q (have %v)", name, r.header.ArrayNames())
 	}
+	info := &r.header.Arrays[idx]
 	codec, err := info.codec()
 	if err != nil {
 		return nil, err
@@ -458,6 +514,15 @@ func (r *Reader) ReadArrayBytes(name string) ([]byte, error) {
 	compBuf := make([]byte, info.CompressedSize())
 	if _, err := readFullAt(r.src, compBuf, info.Offset); err != nil {
 		return nil, fmt.Errorf("vtkio: reading array %q: %w", name, err)
+	}
+	// Verify the stored bytes before handing them to the codec: a CRC
+	// mismatch is reported as ErrChecksum, never as a codec failure —
+	// and never as silently-wrong floats when the corrupt bytes still
+	// decompress (the "none" codec decompresses everything).
+	if r.ckStart != nil {
+		if err := r.verifyArrayPages(name, r.ckStart[idx], compBuf); err != nil {
+			return nil, err
+		}
 	}
 	raw := make([]byte, info.RawSize())
 
